@@ -1,0 +1,230 @@
+// Command experiments regenerates the paper's evaluation: Figures 5/6/7
+// (relative expected makespan vs CCR for GENOME/MONTAGE/LIGO), the
+// §VI-B estimator-accuracy table, the simulator cross-validation, and
+// the DESIGN.md ablations. CSVs land in -out (default ./results) and
+// ASCII plots are printed for a representative subset of panels.
+//
+// Usage:
+//
+//	experiments -exp all                 # everything (a few minutes)
+//	experiments -exp fig5                # GENOME sweep only
+//	experiments -exp accuracy -truth 300000
+//	experiments -exp simcheck -trials 2000
+//	experiments -exp ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "all | fig5 | fig6 | fig7 | accuracy | simcheck | ablations")
+	out := flag.String("out", "results", "output directory for CSVs")
+	seed := flag.Int64("seed", 42, "seed")
+	truth := flag.Int("truth", 300000, "Monte Carlo ground-truth trials (accuracy)")
+	trials := flag.Int("trials", 2000, "simulator trials (simcheck)")
+	points := flag.Int("points", 5, "CCR points per decade (figures)")
+	sizes := flag.String("sizes", "", "comma list of workflow sizes (default 50,300,1000)")
+	plots := flag.Bool("plots", true, "print ASCII plots for representative panels")
+	flag.Parse()
+
+	runs := map[string]func() error{
+		"fig5":      func() error { return runFigure("genome", "fig5", *out, *seed, *points, *sizes, *plots) },
+		"fig6":      func() error { return runFigure("montage", "fig6", *out, *seed, *points, *sizes, *plots) },
+		"fig7":      func() error { return runFigure("ligo", "fig7", *out, *seed, *points, *sizes, *plots) },
+		"accuracy":  func() error { return runAccuracy(*out, *seed, *truth) },
+		"simcheck":  func() error { return runSimCheck(*out, *seed, *trials) },
+		"ablations": func() error { return runAblations(*out, *seed) },
+	}
+	order := []string{"fig5", "fig6", "fig7", "accuracy", "simcheck", "ablations"}
+	selected := order
+	if *exp != "all" {
+		if _, ok := runs[*exp]; !ok {
+			fatal(fmt.Errorf("unknown experiment %q", *exp))
+		}
+		selected = []string{*exp}
+	}
+	for _, name := range selected {
+		start := time.Now()
+		fmt.Printf("== %s ==\n", name)
+		if err := runs[name](); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("== %s done in %s ==\n\n", name, time.Since(start).Truncate(time.Millisecond))
+	}
+}
+
+func parseSizes(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var v int
+		fmt.Sscanf(strings.TrimSpace(part), "%d", &v)
+		if v > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func runFigure(family, figName, out string, seed int64, points int, sizes string, plots bool) error {
+	cfg := expt.FigureConfig(family)
+	cfg.Seed = seed
+	cfg.PointsPerDecade = points
+	if sz := parseSizes(sizes); sz != nil {
+		cfg.Sizes = sz
+	}
+	rows, err := expt.RunSweep(cfg)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(out, figName+"_"+family+".csv")
+	if err := expt.SaveRowsCSV(path, rows); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d rows)\n", path, len(rows))
+	// §VI-C decision table: where does CkptNone start to win?
+	decision := expt.DecisionTable(rows)
+	expt.WriteDecisionTable(os.Stdout, decision)
+	if plots {
+		groups, keys := expt.GroupRows(rows)
+		for _, k := range keys {
+			// One representative panel per (size, pfail): middle p.
+			procs := k.Procs
+			mid := middleProcs(keys, k)
+			if procs != mid {
+				continue
+			}
+			fmt.Println(expt.PlotRelative(groups[k], 64, 16))
+		}
+	}
+	return nil
+}
+
+// middleProcs returns the second-smallest processor count available for
+// the (family, tasks, pfail) of k, approximating the paper's featured
+// panels.
+func middleProcs(keys []expt.GroupKey, k expt.GroupKey) int {
+	var procs []int
+	for _, o := range keys {
+		if o.Family == k.Family && o.Tasks == k.Tasks && o.PFail == k.PFail {
+			procs = append(procs, o.Procs)
+		}
+	}
+	if len(procs) == 0 {
+		return k.Procs
+	}
+	minCount := 0
+	for i := range procs {
+		if procs[i] < procs[minCount] {
+			minCount = i
+		}
+	}
+	best := procs[minCount]
+	second := best
+	for _, p := range procs {
+		if p > best && (second == best || p < second) {
+			second = p
+		}
+	}
+	return second
+}
+
+func runAccuracy(out string, seed int64, truth int) error {
+	rows, err := expt.RunAccuracy(expt.AccuracyConfig{Seed: seed, TruthTrials: truth})
+	if err != nil {
+		return err
+	}
+	header, cells := expt.FormatAccuracy(rows)
+	expt.WriteTable(os.Stdout, header, cells)
+	return saveTableCSV(filepath.Join(out, "accuracy.csv"), header, cells)
+}
+
+func runSimCheck(out string, seed int64, trials int) error {
+	rows, err := expt.RunSimCheck(expt.SimCheckConfig{Seed: seed, Trials: trials})
+	if err != nil {
+		return err
+	}
+	header := []string{"family", "tasks", "procs", "pfail", "ccr", "strategy", "analytic", "sim_mean", "sim_ci95", "rel_diff"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Family, fmt.Sprint(r.Tasks), fmt.Sprint(r.Procs), fmt.Sprint(r.PFail), fmt.Sprint(r.CCR),
+			r.Strategy, fmt.Sprintf("%.6g", r.Analytic), fmt.Sprintf("%.6g", r.SimMean),
+			fmt.Sprintf("%.3g", r.SimCI95), fmt.Sprintf("%.4f", r.RelDiff),
+		})
+	}
+	expt.WriteTable(os.Stdout, header, cells)
+	return saveTableCSV(filepath.Join(out, "simcheck.csv"), header, cells)
+}
+
+func runAblations(out string, seed int64) error {
+	cfg := expt.AblationConfig{Seed: seed}
+	var all []expt.AblationRow
+	for _, f := range []func(expt.AblationConfig) ([]expt.AblationRow, error){
+		expt.AblateCheckpointPlacement, expt.AblateMapping, expt.AblateLinearization,
+	} {
+		rows, err := f(cfg)
+		if err != nil {
+			return err
+		}
+		all = append(all, rows...)
+	}
+	// A4 (extension): first-order vs exact segment cost model under a
+	// high failure rate, validated by discrete-event simulation.
+	a4cfg := expt.AblationConfig{Family: "montage", Tasks: 300, Procs: 35, PFail: 0.01, CCR: 0.1, Seed: seed}
+	a4, err := expt.AblateCostModel(a4cfg, 1000)
+	if err != nil {
+		return err
+	}
+	fmt.Println("A4 cost model (montage 300, p=35, pfail=0.01, CCR=0.1):")
+	for _, r := range a4 {
+		fmt.Printf("  %-10s analytic %.1f | DES %.1f ± %.1f | self-prediction gap %.2f%% | %d ckpts\n",
+			r.Model, r.Analytic, r.SimMean, r.SimCI95, 100*r.AnalyticGap, r.Checkpoints)
+	}
+	header := []string{"experiment", "family", "tasks", "procs", "pfail", "ccr", "variant", "em", "rel_to_some"}
+	var cells [][]string
+	for _, r := range all {
+		cells = append(cells, []string{
+			r.Experiment, r.Family, fmt.Sprint(r.Tasks), fmt.Sprint(r.Procs),
+			fmt.Sprint(r.PFail), fmt.Sprint(r.CCR), r.Variant,
+			fmt.Sprintf("%.6g", r.EM), fmt.Sprintf("%.4f", r.RelToSome),
+		})
+	}
+	expt.WriteTable(os.Stdout, header, cells)
+	return saveTableCSV(filepath.Join(out, "ablations.csv"), header, cells)
+}
+
+func saveTableCSV(path string, header []string, cells [][]string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	write := func(fields []string) {
+		fmt.Fprintln(f, strings.Join(fields, ","))
+	}
+	write(header)
+	for _, row := range cells {
+		write(row)
+	}
+	fmt.Printf("wrote %s (%d rows)\n", path, len(cells))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Command genwf generates a Pegasus-style synthetic workflow (montage,
+// ligo, genome or cybershake) and writes it as JSON to stdout or a file.
+//
+// Usage:
+//
+//	genwf -family genome -tasks 300 -seed 42 [-ragged] [-o wf.json] [-summary]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/mspg"
+	"repro/internal/pegasus"
+)
+
+func main() {
+	family := flag.String("family", "genome", fmt.Sprintf("workflow family %v", pegasus.Families()))
+	tasks := flag.Int("tasks", 300, "approximate task count")
+	seed := flag.Int64("seed", 42, "generator seed")
+	ragged := flag.Bool("ragged", false, "ligo only: emit the PWG non-M-SPG artifact plus dummy completion")
+	out := flag.String("o", "", "output file (default stdout)")
+	format := flag.String("format", "json", "output format: json | dax")
+	summary := flag.Bool("summary", false, "print a structural summary to stderr")
+	flag.Parse()
+
+	w, err := pegasus.Generate(*family, pegasus.Options{Tasks: *tasks, Seed: *seed, Ragged: *ragged})
+	if err != nil {
+		fatal(err)
+	}
+	if *summary {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", w.Name, w.G)
+		if node, err := mspg.Recognize(w.G); err == nil {
+			fmt.Fprintf(os.Stderr, "M-SPG: yes (%d tree tasks)\n", node.NumTasks())
+		} else {
+			fmt.Fprintf(os.Stderr, "M-SPG: NO (%v)\n", err)
+		}
+	}
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	switch *format {
+	case "json":
+		err = w.G.WriteJSON(dst)
+	case "dax":
+		err = w.G.WriteDAX(dst, w.Name)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genwf:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// Example montage: sweep the Communication-to-Computation Ratio on a
+// 300-task Montage mosaic (I/O heavy, wide levels) and print the
+// crossover analysis: where checkpointing everything stops being
+// acceptable and where not checkpointing at all starts to win — the
+// practical decision procedure §VI-C describes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	const (
+		tasks = 300
+		procs = 35
+		pfail = 0.001
+	)
+	cfg := expt.FigureConfig("montage")
+	cfg.Sizes = []int{tasks}
+	cfg.PFails = []float64{pfail}
+
+	var rows []expt.Row
+	for _, ccr := range expt.CCRGrid(1e-3, 1, 4) {
+		row, err := expt.RunPoint(cfg, tasks, procs, pfail, ccr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row)
+	}
+
+	fmt.Printf("MONTAGE, %d tasks, p=%d, pfail=%g\n\n", tasks, procs, pfail)
+	fmt.Printf("%-10s %12s %12s %12s %10s %10s\n",
+		"CCR", "E[M] some", "E[M] all", "E[M] none", "all/some", "none/some")
+	for _, r := range rows {
+		fmt.Printf("%-10.4g %12.1f %12.1f %12.1f %10.4f %10.4f\n",
+			r.CCR, r.EMSome, r.EMAll, r.EMNone, r.RelAll, r.RelNone)
+	}
+	fmt.Println()
+	fmt.Println(expt.PlotRelative(rows, 64, 16))
+
+	if x := expt.Crossover(rows); x > 0 {
+		fmt.Printf("decision: below CCR %.4g use CkptSome; above it, betting on\n", x)
+		fmt.Println("no failure (CkptNone) is cheaper because checkpoints cost more")
+		fmt.Println("than the expected re-execution they save.")
+	} else {
+		fmt.Println("decision: CkptSome wins across the whole CCR range tested.")
+	}
+}

@@ -1,0 +1,100 @@
+// Quickstart: build a small M-SPG by hand, schedule it with Algorithm 1,
+// place checkpoints with Algorithm 2, and print the expected makespan of
+// the three strategies.
+//
+// The workflow is the 13-task M-SPG of the paper's Figure 2:
+//
+//	T1 ;→ (T2‖T3‖T4) — a fork,
+//	then the bipartite middle layer (T5..T9),
+//	then (T10‖T11‖T12) ;→ T13 — a join.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/mspg"
+	"repro/internal/platform"
+	"repro/internal/wfdag"
+)
+
+func main() {
+	w := buildFigure2()
+	if err := w.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workflow: %s\n", w.G)
+	fmt.Printf("M-SPG:    %s\n\n", w.Root)
+
+	// Two processors, one failure every ~2000s, 100 MB/s stable storage
+	// (matching the paper's Figure 3 mapping).
+	pf := platform.New(2, 5e-4, 1e8)
+
+	for _, strat := range []ckpt.Strategy{ckpt.CkptSome, ckpt.CkptAll, ckpt.CkptNone} {
+		res, err := core.Run(w, pf, core.Config{Strategy: strat})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s E[makespan] = %8.2f s   (%d checkpoints, %d superchains)\n",
+			strat, res.ExpectedMakespan, res.Checkpoints, res.Superchains)
+		if strat == ckpt.CkptSome {
+			for _, sc := range res.Schedule.Chains {
+				fmt.Printf("          superchain %d on P%d:", sc.Index, sc.Proc)
+				for _, t := range sc.Tasks {
+					mark := ""
+					if res.Plan.CheckpointAfter[t] {
+						mark = "*"
+					}
+					fmt.Printf(" T%d%s", t+1, mark) // paper numbers tasks from 1
+				}
+				fmt.Println()
+			}
+		}
+	}
+	fmt.Println("\n(*) = output data checkpointed to stable storage after this task")
+}
+
+// buildFigure2 constructs the paper's Figure 2 M-SPG with uniform 60s
+// tasks and 100MB files.
+func buildFigure2() *mspg.Workflow {
+	g := wfdag.New()
+	ids := make([]wfdag.TaskID, 14) // 1-indexed, like the paper
+	nodes := make([]*mspg.Node, 14)
+	for i := 1; i <= 13; i++ {
+		ids[i] = g.AddTask(fmt.Sprintf("T%d", i), "generic", 60)
+		nodes[i] = mspg.NewAtomic(ids[i])
+	}
+	connect := func(from, to int) {
+		g.Connect(ids[from], ids[to], fmt.Sprintf("d%d_%d", from, to), 1e8)
+	}
+	// T1 forks to T2, T3, T4.
+	for _, to := range []int{2, 3, 4} {
+		connect(1, to)
+	}
+	// Bipartite middle: every one of {T2,T3,T4} feeds every one of {T5..T9}.
+	for _, from := range []int{2, 3, 4} {
+		for to := 5; to <= 9; to++ {
+			connect(from, to)
+		}
+	}
+	// Second bipartite: {T5..T9} feed {T10, T11, T12}.
+	for from := 5; from <= 9; from++ {
+		for _, to := range []int{10, 11, 12} {
+			connect(from, to)
+		}
+	}
+	// Join into T13.
+	for _, from := range []int{10, 11, 12} {
+		connect(from, 13)
+	}
+	root := mspg.NewSerial(
+		nodes[1],
+		mspg.NewParallel(nodes[2], nodes[3], nodes[4]),
+		mspg.NewParallel(nodes[5], nodes[6], nodes[7], nodes[8], nodes[9]),
+		mspg.NewParallel(nodes[10], nodes[11], nodes[12]),
+		nodes[13],
+	)
+	return &mspg.Workflow{Name: "figure2", G: g, Root: root}
+}

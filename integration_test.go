@@ -1,0 +1,149 @@
+package repro
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/mspg"
+	"repro/internal/pegasus"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/wfdag"
+)
+
+// TestIntegrationMatrix runs the complete pipeline — generate, schedule,
+// checkpoint, evaluate, simulate — across every workflow family, the
+// three strategies, both cost models and all estimators, checking the
+// cross-cutting invariants that individual package tests cannot see
+// together.
+func TestIntegrationMatrix(t *testing.T) {
+	for _, fam := range pegasus.Families() {
+		for _, strat := range []ckpt.Strategy{ckpt.CkptSome, ckpt.CkptAll, ckpt.CkptNone} {
+			for _, model := range []ckpt.CostModel{ckpt.ModelFirstOrder, ckpt.ModelExact} {
+				w, err := pegasus.Generate(fam, pegasus.Options{Tasks: 80, Seed: 11})
+				if err != nil {
+					t.Fatal(err)
+				}
+				pf := platform.New(5, 0, 1e8).WithLambdaForPFail(0.001, w.G)
+				pf.ScaleToCCR(w.G, 0.05)
+				res, err := core.Run(w, pf, core.Config{Strategy: strat, Model: model, Seed: 11})
+				if err != nil {
+					t.Fatalf("%s/%s/%s: %v", fam, strat, model, err)
+				}
+				if res.ExpectedMakespan < res.FailureFreeMakespan-1e-9 {
+					t.Fatalf("%s/%s/%s: E[M] %g below W_par %g",
+						fam, strat, model, res.ExpectedMakespan, res.FailureFreeMakespan)
+				}
+				if strat == ckpt.CkptNone {
+					continue
+				}
+				// The DES agrees with the analytic estimate at this λ.
+				s, err := sim.EstimateExpected(res.Plan, 400, 11)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dist.RelErr(res.ExpectedMakespan, s.Mean) > 0.03 {
+					t.Fatalf("%s/%s/%s: analytic %g vs DES %g±%g",
+						fam, strat, model, res.ExpectedMakespan, s.Mean, s.CI95)
+				}
+			}
+		}
+	}
+}
+
+// TestIntegrationSerializationPipeline checks that a generated workflow
+// survives JSON and DAX round trips and yields the identical plan.
+func TestIntegrationSerializationPipeline(t *testing.T) {
+	w, err := pegasus.Generate("montage", pegasus.Options{Tasks: 100, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := platform.New(7, 0, 1e8).WithLambdaForPFail(0.001, w.G)
+	base, err := core.Run(w, pf, core.Config{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js bytes.Buffer
+	if err := w.G.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := wfdag.ReadJSON(&js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, redundant, err := mspg.WorkflowFromGraph("roundtrip", g2)
+	if err != nil || redundant != 0 {
+		t.Fatalf("recognition after JSON: %v (%d redundant)", err, redundant)
+	}
+	again, err := core.Run(w2, pf, core.Config{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(again.ExpectedMakespan-base.ExpectedMakespan)/base.ExpectedMakespan > 1e-9 {
+		t.Fatalf("plan changed after JSON round trip: %g vs %g",
+			again.ExpectedMakespan, base.ExpectedMakespan)
+	}
+
+	var dax bytes.Buffer
+	if err := w.G.WriteDAX(&dax, "montage"); err != nil {
+		t.Fatal(err)
+	}
+	g3, err := wfdag.ReadDAX(&dax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w3, _, err := mspg.WorkflowFromGraph("daxtrip", g3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	third, err := core.Run(w3, pf, core.Config{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DAX preserves weights and sizes but renames tasks; the plan value
+	// must still match (same structure, same numbers).
+	if math.Abs(third.ExpectedMakespan-base.ExpectedMakespan)/base.ExpectedMakespan > 1e-9 {
+		t.Fatalf("plan changed after DAX round trip: %g vs %g",
+			third.ExpectedMakespan, base.ExpectedMakespan)
+	}
+}
+
+// TestIntegrationPaperHeadlines pins the paper's three headline claims
+// on a mid-size configuration so regressions in any layer surface here.
+func TestIntegrationPaperHeadlines(t *testing.T) {
+	check := func(fam string, ccr float64, pfail float64) (relAll, relNone float64) {
+		w, err := pegasus.Generate(fam, pegasus.Options{Tasks: 300, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf := platform.New(35, 0, 1e8).WithLambdaForPFail(pfail, w.G)
+		pf.ScaleToCCR(w.G, ccr)
+		cmp, err := core.Compare(w, pf, core.Config{Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cmp.RelAll(), cmp.RelNone()
+	}
+	// 1. CkptSome ~= CkptAll at tiny CCR; strictly better at high CCR.
+	lowAll, _ := check("montage", 1e-3, 0.001)
+	highAll, highNone := check("montage", 1, 0.001)
+	if math.Abs(lowAll-1) > 0.01 {
+		t.Fatalf("CkptAll parity at tiny CCR violated: %g", lowAll)
+	}
+	if highAll < 1.05 {
+		t.Fatalf("CkptSome must clearly beat CkptAll at CCR=1: %g", highAll)
+	}
+	// 2. CkptNone wins at expensive checkpoints...
+	if highNone > 1 {
+		t.Fatalf("CkptNone should win at CCR=1, pfail=0.001: %g", highNone)
+	}
+	// 3. ...and loses badly when failures are common and checkpoints cheap.
+	_, cheapNone := check("montage", 1e-3, 0.01)
+	if cheapNone < 1.5 {
+		t.Fatalf("CkptNone should lose clearly at tiny CCR, pfail=0.01: %g", cheapNone)
+	}
+}

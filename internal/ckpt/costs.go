@@ -1,0 +1,188 @@
+// Package ckpt implements the checkpointing half of the paper: the
+// extended checkpoint semantics for superchains (§IV-A), the O(n²)
+// optimal checkpoint-placement dynamic program (Algorithm 2, §IV-B), the
+// CkptAll / CkptNone / CkptSome strategies, segment coalescing into
+// 2-state probabilistic DAGs, and the Theorem 1 estimate for CkptNone.
+package ckpt
+
+import (
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/wfdag"
+)
+
+// chainCosts precomputes, for one superchain, everything needed to
+// evaluate the paper's R^j_i, W^j_i and C^j_i segment costs in O(1)
+// amortized per (i, j) extension:
+//
+//	R^j_i — storage-read time of all data produced outside tasks i..j
+//	        (earlier checkpointed superchain prefixes, other superchains'
+//	        checkpointed exit tasks, or workflow inputs) and consumed by
+//	        tasks i..j; deduplicated by file.
+//	W^j_i — total weight of tasks i..j.
+//	C^j_i — storage-write (checkpoint) time of all data produced by tasks
+//	        i..j and still needed after Tj (later tasks of this
+//	        superchain, tasks of other superchains, or workflow outputs);
+//	        deduplicated by file, matching the paper's extended
+//	        checkpoint definition that also saves live data of
+//	        non-checkpointed predecessors.
+//
+// Positions are indices into the superchain's linearized task order.
+type chainCosts struct {
+	n       int
+	weights []float64 // weight of the task at each position
+
+	// Per relevant file:
+	fileCost []float64 // storage read/write time
+	prodPos  []int     // producer position in this chain, or -1 (external/input)
+	lastIn   []int     // last consumer position in this chain, or -1
+	external []bool    // consumed outside this chain, or a workflow output
+
+	// consumedAt[pos] lists local file indices consumed by the task at pos.
+	consumedAt [][]int
+	// producedAt[pos] lists local file indices produced by the task at pos.
+	producedAt [][]int
+}
+
+// newChainCosts builds the per-chain file tables for superchain sc.
+func newChainCosts(s *sched.Schedule, p platform.Platform, sc *sched.Superchain) *chainCosts {
+	g := s.W.G
+	n := len(sc.Tasks)
+	cc := &chainCosts{
+		n:          n,
+		weights:    make([]float64, n),
+		consumedAt: make([][]int, n),
+		producedAt: make([][]int, n),
+	}
+	posOf := make(map[wfdag.TaskID]int, n)
+	for pos, t := range sc.Tasks {
+		posOf[t] = pos
+		cc.weights[pos] = g.Task(t).Weight
+	}
+	fileIdx := make(map[wfdag.FileID]int)
+	local := func(f wfdag.FileID) int {
+		if i, ok := fileIdx[f]; ok {
+			return i
+		}
+		i := len(cc.fileCost)
+		fileIdx[f] = i
+		cc.fileCost = append(cc.fileCost, p.FileCost(g, f))
+		cc.prodPos = append(cc.prodPos, -1)
+		cc.lastIn = append(cc.lastIn, -1)
+		cc.external = append(cc.external, false)
+		return i
+	}
+	for pos, t := range sc.Tasks {
+		// Files consumed by t: dependency edges plus workflow inputs.
+		seen := make(map[wfdag.FileID]bool)
+		for _, e := range g.Pred(t) {
+			if !seen[e.File] {
+				seen[e.File] = true
+				cc.consumedAt[pos] = append(cc.consumedAt[pos], local(e.File))
+			}
+		}
+		for _, f := range g.InputFiles(t) {
+			if !seen[f] {
+				seen[f] = true
+				cc.consumedAt[pos] = append(cc.consumedAt[pos], local(f))
+			}
+		}
+		// Files produced by t.
+		for _, f := range g.ProducedFiles(t) {
+			cc.producedAt[pos] = append(cc.producedAt[pos], local(f))
+		}
+	}
+	for f, i := range fileIdx {
+		file := g.File(f)
+		if file.Producer != wfdag.NoTask {
+			if pp, ok := posOf[file.Producer]; ok {
+				cc.prodPos[i] = pp
+			}
+		}
+		consumers := g.Consumers(f)
+		if len(consumers) == 0 {
+			// A file nobody reads is a workflow output: it must always be
+			// persisted to stable storage.
+			cc.external[i] = true
+		}
+		for _, c := range consumers {
+			if cp, ok := posOf[c]; ok {
+				if cp > cc.lastIn[i] {
+					cc.lastIn[i] = cp
+				}
+			} else {
+				cc.external[i] = true
+			}
+		}
+	}
+	return cc
+}
+
+// segmentCost returns (R, W, C) for the segment of positions [i, j]
+// (inclusive). It is O(size of the segment's file references); the DP
+// uses segmentTable for the O(n²) bulk computation instead.
+func (cc *chainCosts) segmentCost(i, j int) (r, w, c float64) {
+	seenR := make(map[int]bool)
+	for pos := i; pos <= j; pos++ {
+		w += cc.weights[pos]
+		for _, f := range cc.consumedAt[pos] {
+			if (cc.prodPos[f] < i || cc.prodPos[f] > j) && !seenR[f] {
+				seenR[f] = true
+				r += cc.fileCost[f]
+			}
+		}
+		for _, f := range cc.producedAt[pos] {
+			if cc.external[f] || cc.lastIn[f] > j {
+				c += cc.fileCost[f]
+			}
+		}
+	}
+	return r, w, c
+}
+
+// segmentTable returns span[i][j-i] = R^j_i + W^j_i + C^j_i for all
+// a <= i <= j <= b over the whole chain (a=0, b=n-1), computed
+// incrementally in O(n · file references) ≈ O(n²).
+func (cc *chainCosts) segmentTable() [][]float64 {
+	n := cc.n
+	span := make([][]float64, n)
+	// filesByLastIn[j] lists files whose last in-chain consumer sits at
+	// position j (used to drop them from C when the segment absorbs j).
+	filesByLastIn := make([][]int, n)
+	for f := 0; f < len(cc.fileCost); f++ {
+		if cc.lastIn[f] >= 0 && !cc.external[f] && cc.prodPos[f] >= 0 {
+			filesByLastIn[cc.lastIn[f]] = append(filesByLastIn[cc.lastIn[f]], f)
+		}
+	}
+	inR := make([]int, len(cc.fileCost)) // epoch stamp: counted in R for current i
+	epoch := 0
+	for i := 0; i < n; i++ {
+		epoch++
+		span[i] = make([]float64, n-i)
+		r, w, c := 0.0, 0.0, 0.0
+		for j := i; j < n; j++ {
+			w += cc.weights[j]
+			for _, f := range cc.consumedAt[j] {
+				if cc.prodPos[f] < i && inR[f] != epoch {
+					// produced before the segment (or externally): read it.
+					inR[f] = epoch
+					r += cc.fileCost[f]
+				}
+			}
+			for _, f := range cc.producedAt[j] {
+				if cc.external[f] || cc.lastIn[f] > j {
+					c += cc.fileCost[f]
+				}
+			}
+			// Files produced in [i, j) whose last consumer is j stop
+			// needing a checkpoint once j joins the segment.
+			for _, f := range filesByLastIn[j] {
+				if cc.prodPos[f] >= i && cc.prodPos[f] < j {
+					c -= cc.fileCost[f]
+				}
+			}
+			span[i][j-i] = r + w + c
+		}
+	}
+	return span
+}

@@ -1,0 +1,151 @@
+package ckpt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/probdag"
+)
+
+// EvalDAG coalesces the plan's segments into the 2-state probabilistic
+// DAG of §II-C: one node per segment with the Eq. (2) first-order
+// duration distribution, and precedence edges from
+//
+//   - data dependencies between tasks of different segments,
+//   - consecutive segments of the same superchain, and
+//   - consecutive superchains on the same processor.
+//
+// The expected makespan of this DAG is the expected makespan of the
+// plan (to first order in λ), computable with any probdag estimator.
+func EvalDAG(p *Plan) (*probdag.Graph, error) {
+	if p.Strategy == CkptNone {
+		return nil, fmt.Errorf("ckpt: CkptNone has no segment DAG; use Theorem1 or the simulator")
+	}
+	g := probdag.NewGraph()
+	ids := make([]probdag.NodeID, len(p.Segments))
+	for i, seg := range p.Segments {
+		d := p.Model.SegmentDist(seg.Span(), p.Platform.Lambda)
+		ids[i] = g.AddNode(fmt.Sprintf("seg%d(chain%d)", i, seg.Chain), d)
+	}
+	for _, e := range SegmentDeps(p) {
+		g.AddEdge(ids[e[0]], ids[e[1]])
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return nil, fmt.Errorf("ckpt: segment DAG is cyclic: %w", err)
+	}
+	return g, nil
+}
+
+// SegmentDeps returns the precedence edges between segments (pairs of
+// segment indices, deduplicated): cross-segment data dependencies,
+// within-superchain sequencing, and same-processor superchain
+// sequencing. It is shared by EvalDAG and the discrete-event simulator.
+func SegmentDeps(p *Plan) [][2]int {
+	seen := make(map[[2]int]bool)
+	var out [][2]int
+	add := func(a, b int) {
+		e := [2]int{a, b}
+		if a != b && !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	// Data dependencies across segments.
+	wg := p.Sched.W.G
+	for i := 0; i < wg.NumTasks(); i++ {
+		from := p.segOf[i]
+		for _, s := range wg.SuccTasks(taskID(i)) {
+			add(from, p.segOf[s])
+		}
+	}
+	// Sequencing inside a superchain.
+	prevByChain := make(map[int]int)
+	for i, seg := range p.Segments {
+		if prev, ok := prevByChain[seg.Chain]; ok {
+			add(prev, i)
+		}
+		prevByChain[seg.Chain] = i
+	}
+	// Sequencing between consecutive superchains of one processor.
+	firstSeg := make(map[int]int)
+	lastSeg := make(map[int]int)
+	for i, seg := range p.Segments {
+		if _, ok := firstSeg[seg.Chain]; !ok {
+			firstSeg[seg.Chain] = i
+		}
+		lastSeg[seg.Chain] = i
+	}
+	for proc := 0; proc < p.Platform.Processors; proc++ {
+		seq := p.Sched.ProcSequence(proc)
+		for k := 0; k+1 < len(seq); k++ {
+			a, aok := lastSeg[seq[k]]
+			b, bok := firstSeg[seq[k+1]]
+			if aok && bok {
+				add(a, b)
+			}
+		}
+	}
+	return out
+}
+
+// Estimator selects an expected-makespan evaluation method for segment
+// DAGs.
+type Estimator string
+
+const (
+	// EstPathApprox is the paper's method of choice (§VI-B).
+	EstPathApprox Estimator = "PathApprox"
+	// EstMonteCarlo samples the 2-state DAG (ground truth; slow).
+	EstMonteCarlo Estimator = "MonteCarlo"
+	// EstNormal is Sculli's normal-moment method.
+	EstNormal Estimator = "Normal"
+	// EstDodin is Dodin's series-parallel approximation.
+	EstDodin Estimator = "Dodin"
+)
+
+// EvalOptions tunes ExpectedMakespan.
+type EvalOptions struct {
+	Estimator Estimator
+	MCTrials  int   // Monte Carlo trials; default 10000
+	MCSeed    int64 // Monte Carlo seed; default 1
+	Dodin     probdag.DodinOptions
+}
+
+func (o EvalOptions) withDefaults() EvalOptions {
+	if o.Estimator == "" {
+		o.Estimator = EstPathApprox
+	}
+	if o.MCTrials == 0 {
+		o.MCTrials = 10000
+	}
+	if o.MCSeed == 0 {
+		o.MCSeed = 1
+	}
+	return o
+}
+
+// ExpectedMakespan estimates the plan's expected makespan. CkptNone
+// plans use the Theorem 1 closed formula; the others build the segment
+// DAG and apply the chosen estimator.
+func ExpectedMakespan(p *Plan, opts EvalOptions) (float64, error) {
+	opts = opts.withDefaults()
+	if p.Strategy == CkptNone {
+		return Theorem1(p.Sched, p.Platform), nil
+	}
+	g, err := EvalDAG(p)
+	if err != nil {
+		return 0, err
+	}
+	switch opts.Estimator {
+	case EstPathApprox:
+		return probdag.PathApprox(g), nil
+	case EstMonteCarlo:
+		return probdag.MonteCarlo(g, opts.MCTrials, rand.New(rand.NewSource(opts.MCSeed))).Mean, nil
+	case EstNormal:
+		return probdag.Normal(g), nil
+	case EstDodin:
+		return probdag.Dodin(g, opts.Dodin)
+	default:
+		return 0, fmt.Errorf("ckpt: unknown estimator %q", opts.Estimator)
+	}
+}

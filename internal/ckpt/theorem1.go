@@ -1,0 +1,39 @@
+package ckpt
+
+import (
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/wfdag"
+)
+
+func taskID(i int) wfdag.TaskID { return wfdag.TaskID(i) }
+
+// Theorem1 estimates the expected makespan of the CkptNone strategy with
+// the paper's closed formula (§V):
+//
+//	EM(G) = (1 − pλ·W_par)·W_par + pλ·W_par · (3/2·W_par)
+//
+// where W_par is the failure-free parallel time of the schedule (no
+// storage I/O at all, per the in-situ execution model) and p the number
+// of processors. The first term is the no-failure case; the second
+// charges one failure (detected after W_par/2 on average) followed by a
+// full re-execution. The formula simplifies to W_par·(1 + pλW_par/2)
+// and is deliberately NOT clamped when pλW_par exceeds 1: that linear
+// blow-up is what pushes CkptNone off the charts in the paper's
+// high-failure panels (and it still underestimates the true expectation,
+// which grows exponentially — the paper notes the formula is "likely to
+// be inaccurate", but no better closed form is known; the problem is
+// #P-complete).
+func Theorem1(s *sched.Schedule, p platform.Platform) float64 {
+	wpar := s.FailureFreeMakespan()
+	return Theorem1FromWpar(wpar, p)
+}
+
+// Theorem1FromWpar applies the formula to a precomputed W_par.
+func Theorem1FromWpar(wpar float64, p platform.Platform) float64 {
+	q := float64(p.Processors) * p.Lambda * wpar
+	if q < 0 {
+		q = 0
+	}
+	return (1-q)*wpar + q*1.5*wpar
+}

@@ -1,0 +1,156 @@
+// Package core is the public façade of the library: it wires the paper's
+// pipeline — generate or load an M-SPG workflow, schedule it into
+// superchains (Algorithm 1), place checkpoints (Algorithm 2 or a
+// baseline strategy), and estimate the expected makespan (2-state DAG
+// estimators or the Theorem 1 formula) — behind a small API:
+//
+//	w, _ := pegasus.Generate("genome", pegasus.Options{Tasks: 300})
+//	pf := platform.New(35, 0, 1e9).WithLambdaForPFail(0.001, w.G)
+//	res, _ := core.Run(w, pf, core.Config{Strategy: ckpt.CkptSome})
+//	fmt.Println(res.ExpectedMakespan)
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ckpt"
+	"repro/internal/mspg"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// Config selects strategy, estimator and scheduling options for Run.
+type Config struct {
+	// Strategy is the checkpoint policy; defaults to CkptSome.
+	Strategy ckpt.Strategy
+	// Estimator evaluates the segment DAG; defaults to PathApprox.
+	// Ignored by CkptNone (Theorem 1 applies).
+	Estimator ckpt.Estimator
+	// Seed drives the random linearization; defaults to 1.
+	Seed int64
+	// Linearize overrides the superchain linearization (defaults to the
+	// paper's random topological sort).
+	Linearize sched.Linearizer
+	// MCTrials configures the MonteCarlo estimator.
+	MCTrials int
+	// Model selects the segment cost model (default ckpt.ModelFirstOrder,
+	// the paper's Eq. (2); ckpt.ModelExact accounts for multiple
+	// successive failures — see ablation A4).
+	Model ckpt.CostModel
+}
+
+// Result is the outcome of planning one strategy on one workflow.
+type Result struct {
+	Strategy         ckpt.Strategy
+	Plan             *ckpt.Plan
+	Schedule         *sched.Schedule
+	ExpectedMakespan float64
+	// FailureFreeMakespan is the schedule length without failures and
+	// without any storage I/O (W_par).
+	FailureFreeMakespan float64
+	// Checkpoints is the number of checkpointed tasks (0 for CkptNone).
+	Checkpoints int
+	// Superchains is the number of superchains in the schedule.
+	Superchains int
+	// Segments is the number of checkpoint segments.
+	Segments int
+}
+
+// Run schedules w on pf and applies the configured strategy, returning
+// the plan and its estimated expected makespan.
+func Run(w *mspg.Workflow, pf platform.Platform, cfg Config) (*Result, error) {
+	if cfg.Strategy == "" {
+		cfg.Strategy = ckpt.CkptSome
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	s, err := sched.Allocate(w, pf, sched.Options{
+		Linearize: cfg.Linearize,
+		Rng:       rand.New(rand.NewSource(cfg.Seed)),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: scheduling failed: %w", err)
+	}
+	return RunOnSchedule(s, pf, cfg)
+}
+
+// RunOnSchedule applies the configured strategy to an existing schedule,
+// so that several strategies can be compared on the same superchains
+// (as the paper's evaluation does).
+func RunOnSchedule(s *sched.Schedule, pf platform.Platform, cfg Config) (*Result, error) {
+	if cfg.Strategy == "" {
+		cfg.Strategy = ckpt.CkptSome
+	}
+	plan, err := ckpt.BuildPlanWith(s, pf, cfg.Strategy, cfg.Model)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint planning failed: %w", err)
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	em, err := ckpt.ExpectedMakespan(plan, ckpt.EvalOptions{
+		Estimator: cfg.Estimator,
+		MCTrials:  cfg.MCTrials,
+		MCSeed:    cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: makespan evaluation failed: %w", err)
+	}
+	return &Result{
+		Strategy:            cfg.Strategy,
+		Plan:                plan,
+		Schedule:            s,
+		ExpectedMakespan:    em,
+		FailureFreeMakespan: s.FailureFreeMakespan(),
+		Checkpoints:         plan.NumCheckpoints(),
+		Superchains:         len(s.Chains),
+		Segments:            len(plan.Segments),
+	}, nil
+}
+
+// Comparison holds the three paper strategies evaluated on one shared
+// schedule.
+type Comparison struct {
+	Some, All, None *Result
+}
+
+// RelAll returns EM(CkptAll)/EM(CkptSome) — above 1 means CkptSome wins.
+func (c Comparison) RelAll() float64 { return c.All.ExpectedMakespan / c.Some.ExpectedMakespan }
+
+// RelNone returns EM(CkptNone)/EM(CkptSome).
+func (c Comparison) RelNone() float64 { return c.None.ExpectedMakespan / c.Some.ExpectedMakespan }
+
+// Compare evaluates CkptSome, CkptAll and CkptNone on the same schedule
+// of w over pf — the experiment underlying Figures 5-7.
+func Compare(w *mspg.Workflow, pf platform.Platform, cfg Config) (Comparison, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	s, err := sched.Allocate(w, pf, sched.Options{
+		Linearize: cfg.Linearize,
+		Rng:       rand.New(rand.NewSource(cfg.Seed)),
+	})
+	if err != nil {
+		return Comparison{}, err
+	}
+	var out Comparison
+	for _, strat := range []ckpt.Strategy{ckpt.CkptSome, ckpt.CkptAll, ckpt.CkptNone} {
+		c := cfg
+		c.Strategy = strat
+		r, err := RunOnSchedule(s, pf, c)
+		if err != nil {
+			return Comparison{}, err
+		}
+		switch strat {
+		case ckpt.CkptSome:
+			out.Some = r
+		case ckpt.CkptAll:
+			out.All = r
+		case ckpt.CkptNone:
+			out.None = r
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/mspg"
+	"repro/internal/wfdag"
+)
+
+// LoadWorkflow reads a workflow from disk — `.json` (this library's
+// native format) or `.dax`/`.xml` (the Pegasus DAX subset) — and
+// recovers its M-SPG structure by recognition, falling back to the
+// GSPG transitive-reduction route for graphs with redundant edges. The
+// returned redundant count is non-zero when the fallback was taken.
+func LoadWorkflow(path string) (w *mspg.Workflow, redundant int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	var g *wfdag.Graph
+	switch ext := strings.ToLower(filepath.Ext(path)); ext {
+	case ".json":
+		g, err = wfdag.ReadJSON(f)
+	case ".dax", ".xml":
+		g, err = wfdag.ReadDAX(f)
+	default:
+		return nil, 0, fmt.Errorf("core: unsupported workflow format %q (want .json, .dax or .xml)", ext)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return mspg.WorkflowFromGraph(name, g)
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/pegasus"
+	"repro/internal/platform"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadWorkflowJSONRoundTrip(t *testing.T) {
+	w, err := pegasus.Generate("montage", pegasus.Options{Tasks: 80, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "wf.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.G.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	loaded, redundant, err := LoadWorkflow(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if redundant != 0 {
+		t.Fatalf("montage is a clean M-SPG, redundant = %d", redundant)
+	}
+	if loaded.G.NumTasks() != w.G.NumTasks() {
+		t.Fatalf("tasks: %d vs %d", loaded.G.NumTasks(), w.G.NumTasks())
+	}
+	// And the loaded workflow is fully plannable.
+	pf := platform.New(5, 0, 1e8).WithLambdaForPFail(0.001, loaded.G)
+	res, err := Run(loaded, pf, Config{Strategy: ckpt.CkptSome})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExpectedMakespan <= 0 {
+		t.Fatal("bad plan from loaded workflow")
+	}
+}
+
+func TestLoadWorkflowDAX(t *testing.T) {
+	w, err := pegasus.Generate("genome", pegasus.Options{Tasks: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "wf.dax")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.G.WriteDAX(f, w.Name); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	loaded, _, err := LoadWorkflow(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.G.NumTasks() != w.G.NumTasks() {
+		t.Fatal("DAX round trip changed the task count")
+	}
+	if loaded.G.NumEdges() != w.G.NumEdges() {
+		t.Fatalf("DAX round trip changed edges: %d vs %d", loaded.G.NumEdges(), w.G.NumEdges())
+	}
+}
+
+func TestLoadWorkflowGSPGFallback(t *testing.T) {
+	// A chain with a redundant shortcut: only GSPG recognition accepts it.
+	path := writeTemp(t, "gspg.json", `{
+	  "tasks": [
+	    {"id":0,"name":"a","weight":10},
+	    {"id":1,"name":"b","weight":10},
+	    {"id":2,"name":"c","weight":10}
+	  ],
+	  "files": [
+	    {"id":0,"name":"ab","size":5,"producer":0,"consumers":[1]},
+	    {"id":1,"name":"bc","size":5,"producer":1,"consumers":[2]},
+	    {"id":2,"name":"ac","size":5,"producer":0,"consumers":[2]}
+	  ]
+	}`)
+	w, redundant, err := LoadWorkflow(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if redundant != 1 {
+		t.Fatalf("redundant = %d, want 1", redundant)
+	}
+	pf := platform.New(2, 1e-4, 1)
+	res, err := Run(w, pf, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three tasks on one superchain (it's a chain after reduction).
+	if res.Superchains != 1 {
+		t.Fatalf("superchains = %d", res.Superchains)
+	}
+}
+
+func TestLoadWorkflowErrors(t *testing.T) {
+	if _, _, err := LoadWorkflow(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	path := writeTemp(t, "wf.txt", "not a workflow")
+	if _, _, err := LoadWorkflow(path); err == nil {
+		t.Fatal("unsupported extension must error")
+	}
+	bad := writeTemp(t, "bad.json", "{")
+	if _, _, err := LoadWorkflow(bad); err == nil {
+		t.Fatal("malformed JSON must error")
+	}
+	// An N-graph is not even a GSPG.
+	ngraph := writeTemp(t, "n.json", `{
+	  "tasks": [
+	    {"id":0,"name":"a","weight":1},
+	    {"id":1,"name":"b","weight":1},
+	    {"id":2,"name":"c","weight":1},
+	    {"id":3,"name":"d","weight":1}
+	  ],
+	  "files": [
+	    {"id":0,"name":"f0","size":1,"producer":0,"consumers":[2]},
+	    {"id":1,"name":"f1","size":1,"producer":1,"consumers":[2]},
+	    {"id":2,"name":"f2","size":1,"producer":1,"consumers":[3]}
+	  ]
+	}`)
+	if _, _, err := LoadWorkflow(ngraph); err == nil {
+		t.Fatal("N-graph must be rejected")
+	}
+}

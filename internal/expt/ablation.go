@@ -1,0 +1,187 @@
+package expt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/pegasus"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// AblationRow records one variant's expected makespan relative to the
+// full CkptSome pipeline.
+type AblationRow struct {
+	Experiment string
+	Family     string
+	Tasks      int
+	Procs      int
+	PFail      float64
+	CCR        float64
+	Variant    string
+	EM         float64
+	RelToSome  float64 // EM(variant) / EM(CkptSome); > 1 means worse
+}
+
+// AblationConfig shares the usual experiment knobs.
+type AblationConfig struct {
+	Family    string
+	Tasks     int
+	Procs     int
+	PFail     float64
+	CCR       float64
+	Seed      int64
+	Bandwidth float64
+}
+
+func (c AblationConfig) withDefaults() AblationConfig {
+	if c.Family == "" {
+		c.Family = "genome"
+	}
+	if c.Tasks == 0 {
+		c.Tasks = 300
+	}
+	if c.Procs == 0 {
+		c.Procs = 35
+	}
+	if c.PFail == 0 {
+		c.PFail = 0.001
+	}
+	if c.CCR == 0 {
+		c.CCR = 0.01
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Bandwidth == 0 {
+		c.Bandwidth = 1e8
+	}
+	return c
+}
+
+// AblateCheckpointPlacement (A1) compares Algorithm 2's DP against
+// exit-only checkpointing (the §II-C "naive solution"), periodic
+// checkpointing with several periods, and checkpoint-everything, all on
+// the same schedule.
+func AblateCheckpointPlacement(cfg AblationConfig) ([]AblationRow, error) {
+	cfg = cfg.withDefaults()
+	w, err := pegasus.Generate(cfg.Family, pegasus.Options{Tasks: cfg.Tasks, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	pf := platform.New(cfg.Procs, 0, cfg.Bandwidth).WithLambdaForPFail(cfg.PFail, w.G)
+	pf.ScaleToCCR(w.G, cfg.CCR)
+	s, err := sched.Allocate(w, pf, sched.Options{Rng: rand.New(rand.NewSource(cfg.Seed))})
+	if err != nil {
+		return nil, err
+	}
+	evalPlan := func(p *ckpt.Plan) (float64, error) {
+		return ckpt.ExpectedMakespan(p, ckpt.EvalOptions{Estimator: ckpt.EstPathApprox})
+	}
+	somePlan, err := ckpt.BuildPlan(s, pf, ckpt.CkptSome)
+	if err != nil {
+		return nil, err
+	}
+	someEM, err := evalPlan(somePlan)
+	if err != nil {
+		return nil, err
+	}
+	rows := []AblationRow{rowFor(cfg, "A1-checkpoint-placement", "DP (CkptSome)", someEM, someEM)}
+	for _, strat := range []ckpt.Strategy{ckpt.ExitOnly, ckpt.CkptAll} {
+		p, err := ckpt.BuildPlan(s, pf, strat)
+		if err != nil {
+			return nil, err
+		}
+		em, err := evalPlan(p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, rowFor(cfg, "A1-checkpoint-placement", string(strat), em, someEM))
+	}
+	for _, k := range []int{2, 5, 10} {
+		p, err := ckpt.PeriodicPlan(s, pf, k)
+		if err != nil {
+			return nil, err
+		}
+		em, err := evalPlan(p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, rowFor(cfg, "A1-checkpoint-placement", fmt.Sprintf("Periodic(%d)", k), em, someEM))
+	}
+	return rows, nil
+}
+
+// AblateMapping (A2) compares PropMap against a single-processor
+// schedule, quantifying what proportional mapping buys.
+func AblateMapping(cfg AblationConfig) ([]AblationRow, error) {
+	cfg = cfg.withDefaults()
+	w, err := pegasus.Generate(cfg.Family, pegasus.Options{Tasks: cfg.Tasks, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	pfMulti := platform.New(cfg.Procs, 0, cfg.Bandwidth).WithLambdaForPFail(cfg.PFail, w.G)
+	pfMulti.ScaleToCCR(w.G, cfg.CCR)
+	pfOne := pfMulti
+	pfOne.Processors = 1
+
+	multi, err := core.Run(w, pfMulti, core.Config{Strategy: ckpt.CkptSome, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	single, err := core.Run(w, pfOne, core.Config{Strategy: ckpt.CkptSome, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return []AblationRow{
+		rowFor(cfg, "A2-mapping", fmt.Sprintf("PropMap(p=%d)", cfg.Procs), multi.ExpectedMakespan, multi.ExpectedMakespan),
+		rowFor(cfg, "A2-mapping", "SingleProcessor", single.ExpectedMakespan, multi.ExpectedMakespan),
+	}, nil
+}
+
+// AblateLinearization (A3) compares the paper's random topological sort
+// against the deterministic order and the live-file-volume greedy
+// heuristic (§VIII's future-work direction).
+func AblateLinearization(cfg AblationConfig) ([]AblationRow, error) {
+	cfg = cfg.withDefaults()
+	variants := []struct {
+		name string
+		lin  sched.Linearizer
+	}{
+		{"RandomTopo (paper)", sched.RandomLinearizer},
+		{"DeterministicTopo", sched.DeterministicLinearizer},
+		{"MinLiveFiles", sched.MinLiveFilesLinearizer},
+	}
+	var rows []AblationRow
+	var someEM float64
+	for i, v := range variants {
+		w, err := pegasus.Generate(cfg.Family, pegasus.Options{Tasks: cfg.Tasks, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		pf := platform.New(cfg.Procs, 0, cfg.Bandwidth).WithLambdaForPFail(cfg.PFail, w.G)
+		pf.ScaleToCCR(w.G, cfg.CCR)
+		res, err := core.Run(w, pf, core.Config{Strategy: ckpt.CkptSome, Seed: cfg.Seed, Linearize: v.lin})
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			someEM = res.ExpectedMakespan
+		}
+		rows = append(rows, rowFor(cfg, "A3-linearization", v.name, res.ExpectedMakespan, someEM))
+	}
+	return rows, nil
+}
+
+func rowFor(cfg AblationConfig, exp, variant string, em, someEM float64) AblationRow {
+	rel := 0.0
+	if someEM > 0 {
+		rel = em / someEM
+	}
+	return AblationRow{
+		Experiment: exp, Family: cfg.Family, Tasks: cfg.Tasks, Procs: cfg.Procs,
+		PFail: cfg.PFail, CCR: cfg.CCR, Variant: variant, EM: em, RelToSome: rel,
+	}
+}

@@ -1,0 +1,155 @@
+package expt
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/pegasus"
+	"repro/internal/platform"
+	"repro/internal/probdag"
+)
+
+// AccuracyRow compares one estimator against the Monte Carlo ground
+// truth on one workflow configuration (the §VI-B study).
+type AccuracyRow struct {
+	Family    string
+	Tasks     int
+	Procs     int
+	PFail     float64
+	CCR       float64
+	Estimator string
+	Estimate  float64
+	Truth     float64 // high-trial Monte Carlo mean
+	TruthCI95 float64
+	RelError  float64
+	Elapsed   time.Duration
+	Err       string // non-empty when the estimator failed (e.g. Dodin budget)
+}
+
+// AccuracyConfig parameterizes the estimator-accuracy experiment.
+type AccuracyConfig struct {
+	Families    []string
+	Sizes       []int
+	PFails      []float64
+	CCR         float64
+	TruthTrials int // paper: 300,000
+	Seed        int64
+	Bandwidth   float64
+}
+
+func (c AccuracyConfig) withDefaults() AccuracyConfig {
+	if len(c.Families) == 0 {
+		c.Families = pegasus.PaperFamilies()
+	}
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{50, 300}
+	}
+	if len(c.PFails) == 0 {
+		c.PFails = pegasus.PaperPFails()
+	}
+	if c.CCR == 0 {
+		c.CCR = 0.01
+	}
+	if c.TruthTrials == 0 {
+		c.TruthTrials = 300000
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Bandwidth == 0 {
+		c.Bandwidth = 1e8
+	}
+	return c
+}
+
+// RunAccuracy builds the CkptSome segment DAG for every configuration
+// and evaluates it with MonteCarlo (at the ground-truth trial count),
+// Dodin, Normal and PathApprox, recording relative errors and runtimes.
+func RunAccuracy(cfg AccuracyConfig) ([]AccuracyRow, error) {
+	cfg = cfg.withDefaults()
+	var rows []AccuracyRow
+	for _, fam := range cfg.Families {
+		for _, size := range cfg.Sizes {
+			procs := pegasus.PaperProcessorCounts(size)[1]
+			for _, pfail := range cfg.PFails {
+				w, err := pegasus.Generate(fam, pegasus.Options{Tasks: size, Seed: cfg.Seed})
+				if err != nil {
+					return nil, err
+				}
+				pf := platform.New(procs, 0, cfg.Bandwidth).WithLambdaForPFail(pfail, w.G)
+				pf.ScaleToCCR(w.G, cfg.CCR)
+				res, err := core.Run(w, pf, core.Config{Strategy: ckpt.CkptSome, Seed: cfg.Seed})
+				if err != nil {
+					return nil, err
+				}
+				g, err := ckpt.EvalDAG(res.Plan)
+				if err != nil {
+					return nil, err
+				}
+				truth := probdag.MonteCarlo(g, cfg.TruthTrials, rand.New(rand.NewSource(cfg.Seed)))
+				base := AccuracyRow{Family: fam, Tasks: size, Procs: procs, PFail: pfail, CCR: cfg.CCR,
+					Truth: truth.Mean, TruthCI95: truth.CI95}
+				rows = append(rows, evalAll(g, base, cfg)...)
+			}
+		}
+	}
+	return rows, nil
+}
+
+func evalAll(g *probdag.Graph, base AccuracyRow, cfg AccuracyConfig) []AccuracyRow {
+	type method struct {
+		name string
+		f    func() (float64, error)
+	}
+	methods := []method{
+		{"MonteCarlo(10k)", func() (float64, error) {
+			return probdag.MonteCarlo(g, 10000, rand.New(rand.NewSource(cfg.Seed+1))).Mean, nil
+		}},
+		{"Dodin", func() (float64, error) { return probdag.Dodin(g, probdag.DodinOptions{}) }},
+		{"Normal", func() (float64, error) { return probdag.Normal(g), nil }},
+		{"PathApprox", func() (float64, error) { return probdag.PathApprox(g), nil }},
+	}
+	var rows []AccuracyRow
+	for _, m := range methods {
+		r := base
+		r.Estimator = m.name
+		start := time.Now()
+		est, err := m.f()
+		r.Elapsed = time.Since(start)
+		if err != nil {
+			r.Err = err.Error()
+		} else {
+			r.Estimate = est
+			r.RelError = dist.RelErr(est, base.Truth)
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// FormatAccuracy renders accuracy rows as a table.
+func FormatAccuracy(rows []AccuracyRow) (header []string, cells [][]string) {
+	header = []string{"family", "tasks", "pfail", "estimator", "estimate", "truth", "rel_err", "time"}
+	for _, r := range rows {
+		est := fmt.Sprintf("%.4g", r.Estimate)
+		relErr := fmt.Sprintf("%.3e", r.RelError)
+		if r.Err != "" {
+			est, relErr = "error", r.Err
+		}
+		cells = append(cells, []string{
+			r.Family,
+			fmt.Sprintf("%d", r.Tasks),
+			fmt.Sprintf("%g", r.PFail),
+			r.Estimator,
+			est,
+			fmt.Sprintf("%.4g", r.Truth),
+			relErr,
+			r.Elapsed.Truncate(time.Microsecond).String(),
+		})
+	}
+	return header, cells
+}

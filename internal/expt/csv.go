@@ -1,0 +1,84 @@
+package expt
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// WriteRowsCSV writes sweep rows in a stable column order.
+func WriteRowsCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	header := []string{"family", "tasks", "procs", "pfail", "ccr",
+		"em_some", "em_all", "em_none", "rel_all", "rel_none",
+		"ckpts_some", "superchains", "wpar"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Family,
+			strconv.Itoa(r.Tasks),
+			strconv.Itoa(r.Procs),
+			fmtG(r.PFail),
+			fmtG(r.CCR),
+			fmtG(r.EMSome),
+			fmtG(r.EMAll),
+			fmtG(r.EMNone),
+			fmtG(r.RelAll),
+			fmtG(r.RelNone),
+			strconv.Itoa(r.CheckpointsSome),
+			strconv.Itoa(r.Superchains),
+			fmtG(r.WPar),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveRowsCSV writes rows to path, creating parent directories.
+func SaveRowsCSV(path string, rows []Row) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteRowsCSV(f, rows)
+}
+
+func fmtG(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+// WriteTable renders rows of cells with padded columns (quick terminal
+// tables for the cmd tools).
+func WriteTable(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(w, "%-*s", widths[i]+2, c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+}

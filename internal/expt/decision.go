@@ -1,0 +1,63 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+)
+
+// DecisionRow summarizes one panel for the paper's §VI-C decision
+// procedure: given an application's CCR, platform scale and failure
+// rate, which strategy should run it.
+type DecisionRow struct {
+	Family string
+	Tasks  int
+	Procs  int
+	PFail  float64
+	// CrossoverCCR is the smallest swept CCR at which CkptNone beats
+	// CkptSome (0 when CkptSome wins everywhere in the range).
+	CrossoverCCR float64
+	// MaxGainVsAll is the largest EM(CkptAll)/EM(CkptSome) in the panel:
+	// the most CkptSome saves over checkpoint-everything.
+	MaxGainVsAll float64
+	// MaxGainVsNone is the largest EM(CkptNone)/EM(CkptSome).
+	MaxGainVsNone float64
+}
+
+// DecisionTable aggregates sweep rows into per-panel decision rows,
+// ordered like GroupRows.
+func DecisionTable(rows []Row) []DecisionRow {
+	groups, keys := GroupRows(rows)
+	out := make([]DecisionRow, 0, len(keys))
+	for _, k := range keys {
+		g := groups[k]
+		d := DecisionRow{Family: k.Family, Tasks: k.Tasks, Procs: k.Procs, PFail: k.PFail,
+			CrossoverCCR: Crossover(g)}
+		for _, r := range g {
+			if r.RelAll > d.MaxGainVsAll {
+				d.MaxGainVsAll = r.RelAll
+			}
+			if r.RelNone > d.MaxGainVsNone {
+				d.MaxGainVsNone = r.RelNone
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// WriteDecisionTable renders the decision table as text.
+func WriteDecisionTable(w io.Writer, rows []DecisionRow) {
+	header := []string{"family", "tasks", "procs", "pfail", "use CkptNone above CCR", "max gain vs All", "max gain vs None"}
+	var cells [][]string
+	for _, d := range rows {
+		cross := "never (CkptSome always)"
+		if d.CrossoverCCR > 0 {
+			cross = fmt.Sprintf("%.4g", d.CrossoverCCR)
+		}
+		cells = append(cells, []string{
+			d.Family, fmt.Sprint(d.Tasks), fmt.Sprint(d.Procs), fmt.Sprint(d.PFail),
+			cross, fmt.Sprintf("%.3f", d.MaxGainVsAll), fmt.Sprintf("%.3f", d.MaxGainVsNone),
+		})
+	}
+	WriteTable(w, header, cells)
+}

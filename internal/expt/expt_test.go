@@ -1,0 +1,276 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCCRGrid(t *testing.T) {
+	grid := CCRGrid(1e-3, 1, 1)
+	if len(grid) != 4 {
+		t.Fatalf("grid = %v", grid)
+	}
+	if grid[0] != 1e-3 || grid[len(grid)-1] < 0.999 {
+		t.Fatalf("grid endpoints: %v", grid)
+	}
+	if CCRGrid(0, 1, 5) != nil || CCRGrid(1, 0.1, 5) != nil {
+		t.Fatal("degenerate grids must be nil")
+	}
+	dense := CCRGrid(1e-4, 1e-2, 5)
+	if len(dense) != 11 {
+		t.Fatalf("5/decade over 2 decades: %d points", len(dense))
+	}
+}
+
+func TestFigureConfig(t *testing.T) {
+	g := FigureConfig("genome")
+	if g.CCRMin != 1e-4 || g.CCRMax != 1e-2 {
+		t.Fatalf("genome range: %+v", g)
+	}
+	m := FigureConfig("montage")
+	if m.CCRMin != 1e-3 || m.CCRMax != 1 {
+		t.Fatalf("montage range: %+v", m)
+	}
+	if len(g.Sizes) != 3 || len(g.PFails) != 3 {
+		t.Fatal("defaults missing")
+	}
+}
+
+func TestRunPointShapes(t *testing.T) {
+	cfg := FigureConfig("genome")
+	row, err := RunPoint(cfg, 50, 5, 0.001, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.EMSome <= 0 || row.EMAll <= 0 || row.EMNone <= 0 {
+		t.Fatalf("row = %+v", row)
+	}
+	if row.RelAll < 1-1e-9 {
+		t.Fatalf("CkptAll must not beat CkptSome: %g", row.RelAll)
+	}
+	if row.CheckpointsSome <= 0 || row.Superchains <= 0 {
+		t.Fatalf("row = %+v", row)
+	}
+}
+
+func TestRunSweepSmall(t *testing.T) {
+	cfg := SweepConfig{
+		Family: "genome", Sizes: []int{50}, PFails: []float64{0.001},
+		CCRMin: 1e-3, CCRMax: 1e-2, PointsPerDecade: 2, Seed: 3,
+	}
+	rows, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 size × 4 procs × 1 pfail × 3 CCRs.
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestWriteRowsCSV(t *testing.T) {
+	rows := []Row{{Family: "genome", Tasks: 50, Procs: 5, PFail: 0.001, CCR: 0.01,
+		EMSome: 100, EMAll: 110, EMNone: 120, RelAll: 1.1, RelNone: 1.2,
+		CheckpointsSome: 10, Superchains: 4, WPar: 90}}
+	var buf bytes.Buffer
+	if err := WriteRowsCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "family,tasks,procs") {
+		t.Fatalf("header missing: %q", out)
+	}
+	if !strings.Contains(out, "genome,50,5,0.001,0.01,100,110,120,1.1,1.2,10,4,90") {
+		t.Fatalf("row missing: %q", out)
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	rows := []Row{
+		{CCR: 0.001, RelNone: 1.5},
+		{CCR: 0.01, RelNone: 1.1},
+		{CCR: 0.1, RelNone: 0.9},
+	}
+	if x := Crossover(rows); x != 0.1 {
+		t.Fatalf("crossover = %g", x)
+	}
+	if x := Crossover(rows[:2]); x != 0 {
+		t.Fatalf("no crossover should give 0, got %g", x)
+	}
+}
+
+func TestGroupRows(t *testing.T) {
+	rows := []Row{
+		{Family: "a", Tasks: 50, Procs: 3, PFail: 0.01, CCR: 0.1},
+		{Family: "a", Tasks: 50, Procs: 3, PFail: 0.01, CCR: 0.01},
+		{Family: "a", Tasks: 50, Procs: 5, PFail: 0.01, CCR: 0.1},
+	}
+	groups, keys := GroupRows(rows)
+	if len(keys) != 2 {
+		t.Fatalf("keys = %v", keys)
+	}
+	g := groups[GroupKey{"a", 50, 3, 0.01}]
+	if len(g) != 2 || g[0].CCR > g[1].CCR {
+		t.Fatalf("group not sorted by CCR: %v", g)
+	}
+}
+
+func TestAsciiPlot(t *testing.T) {
+	s := []Series{{Name: "x", Marker: 'x', X: []float64{0.001, 0.01, 0.1}, Y: []float64{0.9, 1.1, 2.0}}}
+	out := AsciiPlot("test", s, 40, 10)
+	if !strings.Contains(out, "x = x") || !strings.Contains(out, "CCR") {
+		t.Fatalf("plot output: %q", out)
+	}
+	if !strings.Contains(out, "x") {
+		t.Fatal("markers missing")
+	}
+	if got := AsciiPlot("empty", nil, 40, 10); !strings.Contains(got, "no data") {
+		t.Fatalf("empty plot: %q", got)
+	}
+}
+
+func TestPlotRelative(t *testing.T) {
+	rows := []Row{
+		{Family: "genome", Tasks: 50, Procs: 3, PFail: 0.01, CCR: 0.001, RelAll: 1.0, RelNone: 1.4},
+		{Family: "genome", Tasks: 50, Procs: 3, PFail: 0.01, CCR: 0.01, RelAll: 1.2, RelNone: 1.1},
+	}
+	out := PlotRelative(rows, 40, 10)
+	if !strings.Contains(out, "genome") || !strings.Contains(out, "CkptAll") {
+		t.Fatalf("plot: %q", out)
+	}
+	if PlotRelative(nil, 40, 10) != "(no rows)\n" {
+		t.Fatal("empty rows")
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	var buf bytes.Buffer
+	WriteTable(&buf, []string{"a", "bb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table lines: %v", lines)
+	}
+	if !strings.HasPrefix(lines[0], "a") {
+		t.Fatalf("header: %q", lines[0])
+	}
+}
+
+func TestRunSimCheckSmall(t *testing.T) {
+	rows, err := RunSimCheck(SimCheckConfig{
+		Families: []string{"genome"}, Tasks: 50, Procs: 5,
+		PFails: []float64{0.001}, CCR: 0.01, Trials: 300, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d (3 strategies)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Strategy != "CkptNone" && r.RelDiff > 0.05 {
+			t.Errorf("%s analytic vs sim off by %.1f%%", r.Strategy, 100*r.RelDiff)
+		}
+	}
+}
+
+func TestRunAccuracySmall(t *testing.T) {
+	rows, err := RunAccuracy(AccuracyConfig{
+		Families: []string{"genome"}, Sizes: []int{50},
+		PFails: []float64{0.001}, TruthTrials: 20000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d (4 estimators)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Err != "" {
+			t.Errorf("%s failed: %s", r.Estimator, r.Err)
+			continue
+		}
+		if r.Estimator == "PathApprox" && r.RelError > 0.01 {
+			t.Errorf("PathApprox error %.4f too large", r.RelError)
+		}
+	}
+	header, cells := FormatAccuracy(rows)
+	if len(header) == 0 || len(cells) != len(rows) {
+		t.Fatal("FormatAccuracy shape")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	cfg := AblationConfig{Family: "genome", Tasks: 80, Procs: 5, PFail: 0.01, CCR: 0.05, Seed: 3}
+	a1, err := AblateCheckpointPlacement(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range a1 {
+		if r.Variant != "DP (CkptSome)" && r.RelToSome < 1-1e-9 {
+			t.Errorf("A1: variant %s beat the DP: %g", r.Variant, r.RelToSome)
+		}
+	}
+	a2, err := AblateMapping(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a2) != 2 || a2[1].RelToSome < 1 {
+		t.Errorf("A2: single processor should not beat PropMap: %+v", a2)
+	}
+	a3, err := AblateLinearization(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a3) != 3 {
+		t.Fatalf("A3 rows = %d", len(a3))
+	}
+}
+
+func TestDecisionTable(t *testing.T) {
+	rows := []Row{
+		{Family: "a", Tasks: 50, Procs: 3, PFail: 0.01, CCR: 0.001, RelAll: 1.0, RelNone: 1.4},
+		{Family: "a", Tasks: 50, Procs: 3, PFail: 0.01, CCR: 0.1, RelAll: 1.3, RelNone: 0.8},
+		{Family: "a", Tasks: 50, Procs: 5, PFail: 0.01, CCR: 0.001, RelAll: 1.1, RelNone: 1.2},
+	}
+	table := DecisionTable(rows)
+	if len(table) != 2 {
+		t.Fatalf("panels = %d", len(table))
+	}
+	first := table[0]
+	if first.CrossoverCCR != 0.1 || first.MaxGainVsAll != 1.3 || first.MaxGainVsNone != 1.4 {
+		t.Fatalf("decision = %+v", first)
+	}
+	second := table[1]
+	if second.CrossoverCCR != 0 {
+		t.Fatalf("no-crossover panel: %+v", second)
+	}
+	var buf bytes.Buffer
+	WriteDecisionTable(&buf, table)
+	if !strings.Contains(buf.String(), "never (CkptSome always)") {
+		t.Fatalf("table: %s", buf.String())
+	}
+}
+
+func TestAblateCostModel(t *testing.T) {
+	rows, err := AblateCostModel(AblationConfig{Family: "genome", Tasks: 60, Procs: 5, PFail: 0.01, CCR: 0.05, Seed: 3}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Model != "FirstOrder" || rows[1].Model != "Exact" {
+		t.Fatalf("models = %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Analytic <= 0 || r.SimMean <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+	// The exact model's analytic estimate is at least the first-order one
+	// for the same segments-or-more.
+	if rows[1].Analytic < rows[0].Analytic*0.99 {
+		t.Fatalf("exact analytic %g well below first-order %g", rows[1].Analytic, rows[0].Analytic)
+	}
+}

@@ -1,0 +1,198 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line of an ASCII plot.
+type Series struct {
+	Name   string
+	Marker byte
+	X, Y   []float64
+}
+
+// AsciiPlot renders series on a width×height character grid with a
+// log10 x-axis (CCR) and linear y-axis, mimicking the paper's figures
+// well enough to eyeball trends in a terminal. A horizontal reference
+// line is drawn at y = 1 (the CkptSome parity line).
+func AsciiPlot(title string, series []Series, width, height int) string {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 18
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			lx := math.Log10(s.X[i])
+			if lx < xmin {
+				xmin = lx
+			}
+			if lx > xmax {
+				xmax = lx
+			}
+			if s.Y[i] < ymin {
+				ymin = s.Y[i]
+			}
+			if s.Y[i] > ymax {
+				ymax = s.Y[i]
+			}
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return title + ": (no data)\n"
+	}
+	// Include the y=1 reference and pad.
+	if ymin > 1 {
+		ymin = 1
+	}
+	if ymax < 1 {
+		ymax = 1
+	}
+	pad := 0.05 * (ymax - ymin)
+	if pad == 0 {
+		pad = 0.1
+	}
+	ymin -= pad
+	ymax += pad
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	rowOf := func(y float64) int {
+		r := int(math.Round((ymax - y) / (ymax - ymin) * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	colOf := func(x float64) int {
+		c := int(math.Round((math.Log10(x) - xmin) / (xmax - xmin) * float64(width-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	// Reference line y = 1.
+	refRow := rowOf(1)
+	for c := 0; c < width; c++ {
+		grid[refRow][c] = '-'
+	}
+	for _, s := range series {
+		idx := make([]int, len(s.X))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return s.X[idx[a]] < s.X[idx[b]] })
+		for _, i := range idx {
+			if math.IsInf(s.Y[i], 0) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			y := s.Y[i]
+			clipped := false
+			if y > ymax {
+				y, clipped = ymax, true
+			}
+			r, c := rowOf(y), colOf(s.X[i])
+			if clipped {
+				grid[r][c] = '^'
+			} else {
+				grid[r][c] = s.Marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r, row := range grid {
+		yval := ymax - (ymax-ymin)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%8.3f |%s|\n", yval, string(row))
+	}
+	fmt.Fprintf(&b, "%8s  %s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  10^%.1f%s10^%.1f  (CCR, log scale)\n", "", xmin,
+		strings.Repeat(" ", max(1, width-14)), xmax)
+	for _, s := range series {
+		fmt.Fprintf(&b, "          %c = %s\n", s.Marker, s.Name)
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// PlotRelative renders one (family, size, procs, pfail) slice of sweep
+// rows as the paper plots it: RelAll and RelNone vs CCR.
+func PlotRelative(rows []Row, width, height int) string {
+	if len(rows) == 0 {
+		return "(no rows)\n"
+	}
+	r0 := rows[0]
+	all := Series{Name: "EM(CkptAll)/EM(CkptSome)", Marker: 'a'}
+	none := Series{Name: "EM(CkptNone)/EM(CkptSome)", Marker: 'n'}
+	for _, r := range rows {
+		all.X = append(all.X, r.CCR)
+		all.Y = append(all.Y, r.RelAll)
+		none.X = append(none.X, r.CCR)
+		none.Y = append(none.Y, r.RelNone)
+	}
+	title := fmt.Sprintf("%s, %d tasks, p=%d, pfail=%g (above 1.0 = CkptSome wins)",
+		r0.Family, r0.Tasks, r0.Procs, r0.PFail)
+	return AsciiPlot(title, []Series{all, none}, width, height)
+}
+
+// GroupKey identifies one plot panel.
+type GroupKey struct {
+	Family string
+	Tasks  int
+	Procs  int
+	PFail  float64
+}
+
+// GroupRows splits sweep rows into per-panel slices, sorted by CCR.
+func GroupRows(rows []Row) (map[GroupKey][]Row, []GroupKey) {
+	groups := make(map[GroupKey][]Row)
+	for _, r := range rows {
+		k := GroupKey{r.Family, r.Tasks, r.Procs, r.PFail}
+		groups[k] = append(groups[k], r)
+	}
+	var keys []GroupKey
+	for k := range groups {
+		rs := groups[k]
+		sort.Slice(rs, func(i, j int) bool { return rs[i].CCR < rs[j].CCR })
+		groups[k] = rs
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Family != b.Family {
+			return a.Family < b.Family
+		}
+		if a.Tasks != b.Tasks {
+			return a.Tasks < b.Tasks
+		}
+		if a.PFail != b.PFail {
+			return a.PFail > b.PFail
+		}
+		return a.Procs < b.Procs
+	})
+	return groups, keys
+}

@@ -1,0 +1,112 @@
+package expt
+
+import (
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/pegasus"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// SimCheckRow cross-validates the analytic first-order estimate against
+// the discrete-event simulator for one configuration and strategy.
+type SimCheckRow struct {
+	Family   string
+	Tasks    int
+	Procs    int
+	PFail    float64
+	CCR      float64
+	Strategy string
+
+	Analytic float64 // PathApprox on the 2-state DAG (Theorem 1 for CkptNone)
+	SimMean  float64 // DES mean over Trials runs
+	SimCI95  float64
+	RelDiff  float64
+	Failures float64 // mean failure count per run
+}
+
+// SimCheckConfig parameterizes the cross-validation experiment.
+type SimCheckConfig struct {
+	Families  []string
+	Tasks     int
+	Procs     int
+	PFails    []float64
+	CCR       float64
+	Trials    int
+	Seed      int64
+	Bandwidth float64
+}
+
+func (c SimCheckConfig) withDefaults() SimCheckConfig {
+	if len(c.Families) == 0 {
+		c.Families = pegasus.PaperFamilies()
+	}
+	if c.Tasks == 0 {
+		c.Tasks = 50
+	}
+	if c.Procs == 0 {
+		c.Procs = 5
+	}
+	if len(c.PFails) == 0 {
+		c.PFails = pegasus.PaperPFails()
+	}
+	if c.CCR == 0 {
+		c.CCR = 0.01
+	}
+	if c.Trials == 0 {
+		c.Trials = 2000
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Bandwidth == 0 {
+		c.Bandwidth = 1e8
+	}
+	return c
+}
+
+// RunSimCheck measures, for every (family, pfail, strategy), the DES
+// makespan distribution and compares its mean to the analytic estimate.
+// At small λ the first-order model should match within a few percent;
+// the gap widens as λ·(segment span) grows — exactly the Θ(λ²) terms the
+// paper drops.
+func RunSimCheck(cfg SimCheckConfig) ([]SimCheckRow, error) {
+	cfg = cfg.withDefaults()
+	var rows []SimCheckRow
+	for _, fam := range cfg.Families {
+		for _, pfail := range cfg.PFails {
+			w, err := pegasus.Generate(fam, pegasus.Options{Tasks: cfg.Tasks, Seed: cfg.Seed})
+			if err != nil {
+				return nil, err
+			}
+			pf := platform.New(cfg.Procs, 0, cfg.Bandwidth).WithLambdaForPFail(pfail, w.G)
+			pf.ScaleToCCR(w.G, cfg.CCR)
+			for _, strat := range []ckpt.Strategy{ckpt.CkptSome, ckpt.CkptAll, ckpt.CkptNone} {
+				res, err := core.Run(w, pf, core.Config{Strategy: strat, Seed: cfg.Seed})
+				if err != nil {
+					return nil, err
+				}
+				var s dist.Summary
+				var fails float64
+				if strat == ckpt.CkptNone {
+					s = sim.EstimateExpectedNone(res.Schedule, pf, cfg.Trials, cfg.Seed)
+				} else {
+					s, err = sim.EstimateExpected(res.Plan, cfg.Trials, cfg.Seed)
+					if err != nil {
+						return nil, err
+					}
+				}
+				rows = append(rows, SimCheckRow{
+					Family: fam, Tasks: cfg.Tasks, Procs: cfg.Procs, PFail: pfail, CCR: cfg.CCR,
+					Strategy: string(strat),
+					Analytic: res.ExpectedMakespan,
+					SimMean:  s.Mean, SimCI95: s.CI95,
+					RelDiff:  dist.RelErr(res.ExpectedMakespan, s.Mean),
+					Failures: fails,
+				})
+			}
+		}
+	}
+	return rows, nil
+}

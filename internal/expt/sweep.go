@@ -1,0 +1,153 @@
+// Package expt is the experiment harness that regenerates the paper's
+// evaluation (§VI): the relative-expected-makespan sweeps of Figures
+// 5/6/7, the estimator-accuracy study of §VI-B, the simulator
+// cross-validation, and the ablations listed in DESIGN.md. Results are
+// emitted as CSV rows and quick ASCII plots.
+package expt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/pegasus"
+	"repro/internal/platform"
+)
+
+// Row is one point of a Figure 5/6/7 sweep.
+type Row struct {
+	Family string
+	Tasks  int // requested size (50/300/1000)
+	Procs  int
+	PFail  float64
+	CCR    float64
+
+	EMSome, EMAll, EMNone float64
+	RelAll, RelNone       float64
+
+	CheckpointsSome int
+	Superchains     int
+	WPar            float64
+}
+
+// SweepConfig describes one figure's parameter grid.
+type SweepConfig struct {
+	Family          string
+	Sizes           []int
+	PFails          []float64
+	CCRMin          float64
+	CCRMax          float64
+	PointsPerDecade int
+	Seed            int64
+	// Bandwidth is arbitrary (CCR scaling absorbs it); default 1e8 B/s.
+	Bandwidth float64
+	// Ragged switches the Ligo generator to the PWG-artifact mode.
+	Ragged bool
+}
+
+func (c SweepConfig) withDefaults() SweepConfig {
+	if len(c.Sizes) == 0 {
+		c.Sizes = pegasus.PaperSizes()
+	}
+	if len(c.PFails) == 0 {
+		c.PFails = pegasus.PaperPFails()
+	}
+	if c.PointsPerDecade == 0 {
+		c.PointsPerDecade = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Bandwidth == 0 {
+		c.Bandwidth = 1e8
+	}
+	return c
+}
+
+// FigureConfig returns the paper's grid for the given family: Figure 5
+// (GENOME, CCR 1e-4..1e-2), Figure 6 (MONTAGE, CCR 1e-3..1) or Figure 7
+// (LIGO, CCR 1e-3..1).
+func FigureConfig(family string) SweepConfig {
+	c := SweepConfig{Family: family}
+	switch family {
+	case "genome":
+		c.CCRMin, c.CCRMax = 1e-4, 1e-2
+	default:
+		c.CCRMin, c.CCRMax = 1e-3, 1
+	}
+	return c.withDefaults()
+}
+
+// CCRGrid returns log-spaced CCR values covering [min, max].
+func CCRGrid(min, max float64, perDecade int) []float64 {
+	if min <= 0 || max < min {
+		return nil
+	}
+	var out []float64
+	logStep := 1 / float64(perDecade)
+	for l := math.Log10(min); l <= math.Log10(max)+1e-9; l += logStep {
+		out = append(out, math.Pow(10, l))
+	}
+	return out
+}
+
+// RunSweep evaluates the three strategies over the full grid of one
+// figure. For each (size, procs, pfail, ccr) point a fresh workflow is
+// generated with the sweep seed, its file sizes rescaled to hit the CCR,
+// λ calibrated from pfail, one schedule built, and all three strategies
+// evaluated on that shared schedule with PathApprox (the method of
+// choice per §VI-B).
+func RunSweep(cfg SweepConfig) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	var rows []Row
+	ccrs := CCRGrid(cfg.CCRMin, cfg.CCRMax, cfg.PointsPerDecade)
+	for _, size := range cfg.Sizes {
+		for _, procs := range pegasus.PaperProcessorCounts(size) {
+			for _, pfail := range cfg.PFails {
+				for _, ccr := range ccrs {
+					row, err := RunPoint(cfg, size, procs, pfail, ccr)
+					if err != nil {
+						return nil, err
+					}
+					rows = append(rows, row)
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RunPoint evaluates a single grid point.
+func RunPoint(cfg SweepConfig, size, procs int, pfail, ccr float64) (Row, error) {
+	cfg = cfg.withDefaults()
+	w, err := pegasus.Generate(cfg.Family, pegasus.Options{Tasks: size, Seed: cfg.Seed, Ragged: cfg.Ragged})
+	if err != nil {
+		return Row{}, err
+	}
+	pf := platform.New(procs, 0, cfg.Bandwidth).WithLambdaForPFail(pfail, w.G)
+	pf.ScaleToCCR(w.G, ccr)
+	cmp, err := core.Compare(w, pf, core.Config{Estimator: ckpt.EstPathApprox, Seed: cfg.Seed})
+	if err != nil {
+		return Row{}, fmt.Errorf("expt: %s n=%d p=%d pfail=%g ccr=%g: %w", cfg.Family, size, procs, pfail, ccr, err)
+	}
+	return Row{
+		Family: cfg.Family, Tasks: size, Procs: procs, PFail: pfail, CCR: ccr,
+		EMSome: cmp.Some.ExpectedMakespan, EMAll: cmp.All.ExpectedMakespan, EMNone: cmp.None.ExpectedMakespan,
+		RelAll: cmp.RelAll(), RelNone: cmp.RelNone(),
+		CheckpointsSome: cmp.Some.Checkpoints, Superchains: cmp.Some.Superchains,
+		WPar: cmp.Some.FailureFreeMakespan,
+	}, nil
+}
+
+// Crossover scans a sorted-by-CCR series and reports the first CCR at
+// which CkptNone beats CkptSome (RelNone < 1), or 0 when CkptSome wins
+// everywhere.
+func Crossover(rows []Row) float64 {
+	for _, r := range rows {
+		if r.RelNone < 1 {
+			return r.CCR
+		}
+	}
+	return 0
+}

@@ -1,0 +1,141 @@
+package mspg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/wfdag"
+)
+
+func TestRecognizeGeneralDiamondWithShortcut(t *testing.T) {
+	// Diamond a->{b,c}->d plus the redundant shortcut a->d: not an
+	// M-SPG as-is, but its transitive reduction is.
+	g := wfdag.New()
+	a := g.AddTask("a", "k", 1)
+	b := g.AddTask("b", "k", 1)
+	c := g.AddTask("c", "k", 1)
+	d := g.AddTask("d", "k", 1)
+	g.Connect(a, b, "ab", 1)
+	g.Connect(a, c, "ac", 1)
+	g.Connect(b, d, "bd", 1)
+	g.Connect(c, d, "cd", 1)
+	g.Connect(a, d, "ad", 1) // redundant
+
+	if _, err := Recognize(g); err == nil {
+		t.Fatal("the shortcut makes the raw graph non-M-SPG")
+	}
+	node, redundant, err := RecognizeGeneral(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if redundant != 1 {
+		t.Fatalf("redundant = %d, want 1", redundant)
+	}
+	if node.NumTasks() != 4 {
+		t.Fatalf("tree = %v", node)
+	}
+	if node.Kind != Serial || len(node.Children) != 3 {
+		t.Fatalf("tree = %v", node)
+	}
+}
+
+func TestRecognizeGeneralStillRejectsNGraph(t *testing.T) {
+	g := wfdag.New()
+	for i := 0; i < 4; i++ {
+		g.AddTask("t", "k", 1)
+	}
+	g.Connect(0, 2, "f", 1)
+	g.Connect(1, 2, "f", 1)
+	g.Connect(1, 3, "f", 1)
+	if _, _, err := RecognizeGeneral(g); err == nil {
+		t.Fatal("the N-graph has no redundant edges and stays non-M-SPG")
+	}
+}
+
+func TestRecognizeGeneralOnCleanMSPG(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 40; trial++ {
+		next := 0
+		root := randomTree(rng, 2+rng.Intn(20), &next).Normalize()
+		g := buildFromTree(root, next)
+		node, redundant, err := RecognizeGeneral(g)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if redundant != 0 {
+			t.Fatalf("trial %d: clean M-SPG reported %d redundant edges", trial, redundant)
+		}
+		if node.NumTasks() != next {
+			t.Fatalf("trial %d: task count", trial)
+		}
+	}
+}
+
+func TestRecognizeGeneralWithAddedShortcuts(t *testing.T) {
+	// Property: adding transitively implied edges to a random M-SPG
+	// never breaks GSPG recognition, and the recovered tree implies a
+	// superset-closure of the original relation.
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 40; trial++ {
+		next := 0
+		root := randomTree(rng, 5+rng.Intn(20), &next).Normalize()
+		g := buildFromTree(root, next)
+		// Add up to 3 shortcuts u -> v where v is reachable from u via
+		// at least one intermediate task.
+		added := 0
+		for attempts := 0; attempts < 60 && added < 3; attempts++ {
+			u := wfdag.TaskID(rng.Intn(next))
+			reach := g.Reachable(u)
+			direct := map[wfdag.TaskID]bool{}
+			for _, s := range g.SuccTasks(u) {
+				direct[s] = true
+			}
+			for v := range reach {
+				if !direct[v] {
+					g.Connect(u, v, "shortcut", 1)
+					added++
+					break
+				}
+			}
+		}
+		if added == 0 {
+			continue
+		}
+		node, redundant, err := RecognizeGeneral(g)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if redundant < added {
+			t.Fatalf("trial %d: %d redundant < %d added", trial, redundant, added)
+		}
+		if node.NumTasks() != next {
+			t.Fatalf("trial %d: tree size", trial)
+		}
+	}
+}
+
+func TestWorkflowFromGraphFallsBack(t *testing.T) {
+	g := wfdag.New()
+	a := g.AddTask("a", "k", 1)
+	b := g.AddTask("b", "k", 1)
+	c := g.AddTask("c", "k", 1)
+	g.Connect(a, b, "ab", 1)
+	g.Connect(b, c, "bc", 1)
+	// Clean chain: plain recognition, zero redundant.
+	w, redundant, err := WorkflowFromGraph("chain", g)
+	if err != nil || redundant != 0 {
+		t.Fatalf("clean: %v, %d", err, redundant)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Add the shortcut: falls back to GSPG.
+	g.Connect(a, c, "ac", 1)
+	w2, redundant2, err := WorkflowFromGraph("chain+", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if redundant2 != 1 || w2.Root.NumTasks() != 3 {
+		t.Fatalf("gspg: %d redundant, tree %v", redundant2, w2.Root)
+	}
+}

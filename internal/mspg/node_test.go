@@ -1,0 +1,153 @@
+package mspg
+
+import (
+	"testing"
+
+	"repro/internal/wfdag"
+)
+
+func TestNewChain(t *testing.T) {
+	if NewChain() != nil {
+		t.Fatal("empty chain must be nil")
+	}
+	if n := NewChain(3); n.Kind != Atomic || n.Task != 3 {
+		t.Fatalf("single chain = %+v", n)
+	}
+	n := NewChain(0, 1, 2)
+	if n.Kind != Serial || len(n.Children) != 3 {
+		t.Fatalf("chain = %v", n)
+	}
+	want := []wfdag.TaskID{0, 1, 2}
+	got := n.Tasks()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tasks = %v", got)
+		}
+	}
+}
+
+func TestNewSerialSplicesAndSkipsNil(t *testing.T) {
+	n := NewSerial(NewChain(0, 1), nil, NewAtomic(2))
+	if n.Kind != Serial || len(n.Children) != 3 {
+		t.Fatalf("serial = %v", n)
+	}
+	if NewSerial(nil, nil) != nil {
+		t.Fatal("all-nil serial must be nil")
+	}
+	if n := NewSerial(NewAtomic(5)); n.Kind != Atomic {
+		t.Fatal("single-operand serial collapses")
+	}
+}
+
+func TestNewParallelSplicesAndSkipsNil(t *testing.T) {
+	n := NewParallel(NewParallel(NewAtomic(0), NewAtomic(1)), nil, NewAtomic(2))
+	if n.Kind != Parallel || len(n.Children) != 3 {
+		t.Fatalf("parallel = %v", n)
+	}
+	if NewParallel() != nil {
+		t.Fatal("empty parallel must be nil")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	// Serial[Serial[a, b], Parallel[Parallel[c], d]] -> Serial[a, b, Parallel[c, d]].
+	raw := &Node{Kind: Serial, Children: []*Node{
+		{Kind: Serial, Children: []*Node{NewAtomic(0), NewAtomic(1)}},
+		{Kind: Parallel, Children: []*Node{
+			{Kind: Parallel, Children: []*Node{NewAtomic(2)}},
+			NewAtomic(3),
+		}},
+	}}
+	n := raw.Normalize()
+	if !n.IsNormalized() {
+		t.Fatalf("not normalized: %v", n)
+	}
+	if n.Kind != Serial || len(n.Children) != 3 {
+		t.Fatalf("normalized = %v", n)
+	}
+	if n.Children[2].Kind != Parallel || len(n.Children[2].Children) != 2 {
+		t.Fatalf("normalized = %v", n)
+	}
+	if (*Node)(nil).Normalize() != nil {
+		t.Fatal("nil normalizes to nil")
+	}
+}
+
+func TestIsNormalized(t *testing.T) {
+	if !(*Node)(nil).IsNormalized() {
+		t.Fatal("nil is normalized")
+	}
+	bad := &Node{Kind: Serial, Children: []*Node{NewAtomic(0)}}
+	if bad.IsNormalized() {
+		t.Fatal("single-child serial is not normalized")
+	}
+	nested := &Node{Kind: Parallel, Children: []*Node{
+		{Kind: Parallel, Children: []*Node{NewAtomic(0), NewAtomic(1)}},
+		NewAtomic(2),
+	}}
+	if nested.IsNormalized() {
+		t.Fatal("parallel under parallel is not normalized")
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	// Serial[a, Parallel[b, Chain(c, d)], e]
+	n := NewSerial(NewAtomic(0), NewParallel(NewAtomic(1), NewChain(2, 3)), NewAtomic(4))
+	if src := n.Sources(); len(src) != 1 || src[0] != 0 {
+		t.Fatalf("sources = %v", src)
+	}
+	if snk := n.Sinks(); len(snk) != 1 || snk[0] != 4 {
+		t.Fatalf("sinks = %v", snk)
+	}
+	mid := n.Children[1]
+	if src := mid.Sources(); len(src) != 2 || src[0] != 1 || src[1] != 2 {
+		t.Fatalf("mid sources = %v", src)
+	}
+	if snk := mid.Sinks(); len(snk) != 2 || snk[0] != 1 || snk[1] != 3 {
+		t.Fatalf("mid sinks = %v", snk)
+	}
+}
+
+func TestWeightAndNumTasks(t *testing.T) {
+	g := wfdag.New()
+	for i := 0; i < 4; i++ {
+		g.AddTask("t", "k", float64(i+1))
+	}
+	n := NewSerial(NewAtomic(0), NewParallel(NewAtomic(1), NewAtomic(2)), NewAtomic(3))
+	if w := n.Weight(g); w != 10 {
+		t.Fatalf("weight = %g", w)
+	}
+	if n.NumTasks() != 4 {
+		t.Fatalf("NumTasks = %d", n.NumTasks())
+	}
+	if (*Node)(nil).NumTasks() != 0 {
+		t.Fatal("nil has no tasks")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	n := NewSerial(NewAtomic(0), NewParallel(NewAtomic(1), NewAtomic(2)))
+	c := n.Clone()
+	c.Children[1].Children[0].Task = 99
+	if n.Children[1].Children[0].Task != 1 {
+		t.Fatal("clone must be deep")
+	}
+}
+
+func TestString(t *testing.T) {
+	n := NewSerial(NewAtomic(0), NewParallel(NewAtomic(1), NewAtomic(2)))
+	if got := n.String(); got != "(T0 ; (T1 || T2))" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (*Node)(nil).String(); got != "∅" {
+		t.Fatalf("nil String = %q", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Atomic: "Atomic", Serial: "Serial", Parallel: "Parallel"} {
+		if k.String() != want {
+			t.Fatalf("Kind(%d).String() = %q", k, k.String())
+		}
+	}
+}

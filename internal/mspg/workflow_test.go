@@ -1,0 +1,147 @@
+package mspg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/wfdag"
+)
+
+func figure4Workflow(t *testing.T) *Workflow {
+	t.Helper()
+	// Paper Figure 4(a): T1 -> T2; T2 -> T3, T2 -> T4; T3 -> T5;
+	// T4 -> T5; T5 -> T6. Tree: T1 ; T2 ; (T3 || T4)… — careful: T4
+	// consumes T2 and feeds T5, T3 consumes T2 and feeds T5:
+	// (T1 ; T2 ; (T3 || T4) ; T5 ; T6).
+	g := wfdag.New()
+	ids := make([]wfdag.TaskID, 7)
+	for i := 1; i <= 6; i++ {
+		ids[i] = g.AddTask("T", "k", 10)
+	}
+	g.Connect(ids[1], ids[2], "d12", 100)
+	g.Connect(ids[2], ids[3], "d23", 100)
+	g.Connect(ids[2], ids[4], "d24", 100)
+	g.Connect(ids[3], ids[5], "d35", 100)
+	g.Connect(ids[4], ids[5], "d45", 100)
+	g.Connect(ids[5], ids[6], "d56", 100)
+	root := NewSerial(NewAtomic(ids[1]), NewAtomic(ids[2]),
+		NewParallel(NewAtomic(ids[3]), NewAtomic(ids[4])),
+		NewAtomic(ids[5]), NewAtomic(ids[6]))
+	return &Workflow{Name: "figure4", G: g, Root: root}
+}
+
+func TestWorkflowValidateAccepts(t *testing.T) {
+	if err := figure4Workflow(t).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkflowValidateRejectsMissingEdge(t *testing.T) {
+	w := figure4Workflow(t)
+	// Claim an extra serial step the graph does not have.
+	w.Root = NewSerial(w.Root, NewAtomic(w.G.AddTask("extra", "k", 1)))
+	if err := w.Validate(); err == nil {
+		t.Fatal("tree-implied edge missing from graph must fail")
+	}
+}
+
+func TestWorkflowValidateRejectsExtraEdge(t *testing.T) {
+	w := figure4Workflow(t)
+	// Add a graph edge the tree does not imply (T1 -> T6).
+	w.G.Connect(0, 5, "extra", 1)
+	if err := w.Validate(); err == nil {
+		t.Fatal("graph edge not implied by tree must fail")
+	}
+}
+
+func TestWorkflowValidateRejectsDuplicateTask(t *testing.T) {
+	w := figure4Workflow(t)
+	w.Root = NewParallel(w.Root.Clone(), NewAtomic(0)) // task 0 twice
+	if err := w.Validate(); err == nil {
+		t.Fatal("duplicate task in tree must fail")
+	}
+}
+
+func TestWorkflowValidateRejectsMissingTask(t *testing.T) {
+	w := figure4Workflow(t)
+	w.G.AddTask("orphan", "k", 1)
+	if err := w.Validate(); err == nil {
+		t.Fatal("graph task missing from tree must fail")
+	}
+}
+
+func TestTreeEdgeSetFigure4(t *testing.T) {
+	w := figure4Workflow(t)
+	es := TreeEdgeSet(w.Root)
+	want := [][2]wfdag.TaskID{{0, 1}, {1, 2}, {1, 3}, {2, 4}, {3, 4}, {4, 5}}
+	if len(es) != len(want) {
+		t.Fatalf("edge set = %v", es)
+	}
+	for _, e := range want {
+		if !es[e] {
+			t.Fatalf("missing %v in %v", e, es)
+		}
+	}
+}
+
+func TestSubtreeWeights(t *testing.T) {
+	g := wfdag.New()
+	for i := 0; i < 4; i++ {
+		g.AddTask("t", "k", float64(i+1))
+	}
+	parts := []*Node{NewAtomic(0), NewChain(1, 2), NewAtomic(3)}
+	w := SubtreeWeights(g, parts)
+	if w[0] != 1 || w[1] != 5 || w[2] != 4 {
+		t.Fatalf("weights = %v", w)
+	}
+}
+
+func TestSortPartsByWeight(t *testing.T) {
+	g := wfdag.New()
+	for _, wt := range []float64{1, 10, 5, 10} {
+		g.AddTask("t", "k", wt)
+	}
+	parts := []*Node{NewAtomic(0), NewAtomic(1), NewAtomic(2), NewAtomic(3)}
+	idx := SortPartsByWeight(g, parts)
+	// Weights: 1, 10, 5, 10. Non-increasing with ID tie-break: 1, 3, 2, 0.
+	want := []int{1, 3, 2, 0}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("order = %v, want %v", idx, want)
+		}
+	}
+}
+
+func TestSortPartsDeterministic(t *testing.T) {
+	g := wfdag.New()
+	for i := 0; i < 6; i++ {
+		g.AddTask("t", "k", 2)
+	}
+	parts := make([]*Node, 6)
+	for i := range parts {
+		parts[i] = NewAtomic(wfdag.TaskID(i))
+	}
+	first := SortPartsByWeight(g, parts)
+	for trial := 0; trial < 5; trial++ {
+		again := SortPartsByWeight(g, parts)
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatal("sort must be deterministic under ties")
+			}
+		}
+	}
+}
+
+// Random workflows from random trees always validate.
+func TestRandomWorkflowValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		next := 0
+		root := randomTree(rng, 2+rng.Intn(25), &next).Normalize()
+		g := buildFromTree(root, next)
+		w := &Workflow{Name: "rand", G: g, Root: root}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("trial %d: %v (tree %v)", trial, err, root)
+		}
+	}
+}

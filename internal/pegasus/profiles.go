@@ -1,0 +1,87 @@
+// Package pegasus generates synthetic scientific workflows shaped after
+// the Pegasus benchmark applications used in the paper's evaluation —
+// MONTAGE (astronomy mosaics), LIGO Inspiral (gravitational-wave
+// analysis), GENOME/Epigenomics (bioinformatics) — plus CYBERSHAKE
+// (seismic hazard) as an extra family.
+//
+// The paper drives its experiments with the Pegasus Workflow Generator
+// (PWG), which is not redistributable here; these generators substitute
+// for it by reproducing the published structural characterizations
+// (Bharathi et al., "Characterization of scientific workflows", WORKS
+// 2008) and runtime/file-size profiles (Juve et al., FGCS 2013): the
+// same level structure, fan-in/fan-out, M-SPG shape, and per-task-type
+// runtime and data-size distributions. All randomness is seeded, so a
+// (family, size, seed) triple is fully reproducible.
+package pegasus
+
+import (
+	"math"
+	"math/rand"
+)
+
+// profile describes the runtime and output-size distribution of one task
+// type, following the means reported by Juve et al. (truncated-normal
+// jitter around the mean with the given coefficient of variation).
+type profile struct {
+	kind     string
+	meanSecs float64 // mean runtime, seconds
+	cvSecs   float64 // runtime coefficient of variation
+	outBytes float64 // mean size of each produced file, bytes
+	cvBytes  float64 // file-size coefficient of variation
+}
+
+// Published-profile table. Values are the rounded means from Juve et al.
+// 2013 (tables 3, 5, 8, 10); coefficient of variation is kept moderate
+// so workflows stay realistic but reproducibly varied.
+var (
+	// Montage task types.
+	pMProject   = profile{"mProjectPP", 1.73, 0.3, 4.0e6, 0.2}
+	pMDiffFit   = profile{"mDiffFit", 0.66, 0.3, 1.0e5, 0.3}
+	pMConcatFit = profile{"mConcatFit", 143.3, 0.1, 1.4e6, 0.2}
+	pMBgModel   = profile{"mBgModel", 384.4, 0.1, 1.1e5, 0.2}
+	pMBackgrnd  = profile{"mBackground", 1.72, 0.3, 4.0e6, 0.2}
+	pMImgtbl    = profile{"mImgtbl", 2.55, 0.2, 1.0e5, 0.2}
+	pMAdd       = profile{"mAdd", 282.4, 0.1, 3.3e8, 0.1}
+	pMShrink    = profile{"mShrink", 66.1, 0.2, 4.3e6, 0.2}
+	pMJPEG      = profile{"mJPEG", 0.71, 0.2, 1.3e5, 0.2}
+
+	// LIGO Inspiral task types.
+	pTmpltBank = profile{"TmpltBank", 18.1, 0.2, 9.0e5, 0.2}
+	pInspiral  = profile{"Inspiral", 460.2, 0.3, 3.0e5, 0.3}
+	pThinca    = profile{"Thinca", 5.4, 0.3, 4.0e4, 0.3}
+	pTrigBank  = profile{"TrigBank", 5.1, 0.3, 9.0e4, 0.3}
+
+	// Epigenomics (GENOME) task types.
+	pFastQSplit   = profile{"fastQSplit", 34.3, 0.2, 4.0e8, 0.2}
+	pFilter       = profile{"filterContams", 2.5, 0.3, 3.0e8, 0.2}
+	pSol2Sanger   = profile{"sol2sanger", 0.48, 0.3, 3.4e8, 0.2}
+	pFastq2Bfq    = profile{"fast2bfq", 1.4, 0.3, 1.5e8, 0.2}
+	pMap          = profile{"map", 201.9, 0.3, 8.0e7, 0.3}
+	pMapMerge     = profile{"mapMerge", 11.0, 0.2, 4.5e8, 0.2}
+	pMaqIndex     = profile{"maqIndex", 43.8, 0.2, 1.0e8, 0.2}
+	pPileup       = profile{"pileup", 55.9, 0.2, 2.8e8, 0.2}
+	pGenomeInBase = 1.8e9 // initial lane input, bytes
+
+	// CyberShake task types.
+	pExtractSGT = profile{"ExtractSGT", 110.0, 0.3, 2.8e8, 0.2}
+	pSeisSynth  = profile{"SeismogramSynthesis", 79.5, 0.3, 2.7e5, 0.3}
+	pPeakVal    = profile{"PeakValCalc", 0.6, 0.3, 1.0e4, 0.3}
+	pZipPSA     = profile{"ZipPSA", 2.0, 0.2, 1.2e7, 0.2}
+)
+
+// drawRuntime samples a task runtime: truncated normal around the mean,
+// floored at 5% of the mean so weights stay strictly positive.
+func (p profile) drawRuntime(rng *rand.Rand) float64 {
+	return truncNormal(rng, p.meanSecs, p.cvSecs)
+}
+
+// drawBytes samples a produced-file size.
+func (p profile) drawBytes(rng *rand.Rand) float64 {
+	return truncNormal(rng, p.outBytes, p.cvBytes)
+}
+
+func truncNormal(rng *rand.Rand, mean, cv float64) float64 {
+	v := mean * (1 + cv*rng.NormFloat64())
+	floor := 0.05 * mean
+	return math.Max(floor, v)
+}

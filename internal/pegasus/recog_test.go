@@ -1,0 +1,31 @@
+package pegasus
+
+import (
+	"testing"
+
+	"repro/internal/mspg"
+)
+
+// Every generated workflow graph must be recognizable as an M-SPG from
+// its bare dependency structure (the tree is validated separately).
+func TestGeneratedGraphsAreMSPG(t *testing.T) {
+	for _, fam := range Families() {
+		for _, n := range []int{50, 300, 1000} {
+			w, err := Generate(fam, Options{Tasks: n, Seed: 11})
+			if err != nil {
+				t.Fatalf("%s/%d: %v", fam, n, err)
+			}
+			if _, err := mspg.Recognize(w.G); err != nil {
+				t.Errorf("%s/%d not recognized: %v", fam, n, err)
+			}
+		}
+	}
+	// The ragged Ligo must also be an M-SPG after dummy completion.
+	w, err := Ligo(Options{Tasks: 300, Seed: 11, Ragged: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mspg.Recognize(w.G); err != nil {
+		t.Errorf("ragged ligo (completed) not recognized: %v", err)
+	}
+}

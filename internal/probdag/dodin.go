@@ -1,0 +1,257 @@
+package probdag
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dist"
+)
+
+// DodinOptions tunes the series-parallel approximation.
+type DodinOptions struct {
+	// MaxBins caps the support size of intermediate distributions;
+	// quantization rounds upward so the result stays an upper-biased
+	// estimate. Default 64.
+	MaxBins int
+	// Budget caps the number of reduction/duplication steps to guard
+	// against pathological blowup. Default 4,000,000.
+	Budget int
+}
+
+func (o DodinOptions) withDefaults() DodinOptions {
+	if o.MaxBins == 0 {
+		o.MaxBins = 64
+	}
+	if o.Budget == 0 {
+		o.Budget = 4_000_000
+	}
+	return o
+}
+
+// Dodin estimates the expected makespan with Dodin's series-parallel
+// approximation (Dodin 1985, as described by Möhring 2001 and Canon &
+// Jeannot 2016), adapted to activity-on-node networks:
+//
+//   - serial reduction: a node v with a single predecessor u, where u has
+//     a single successor, merges into u with the convolved distribution;
+//   - parallel reduction: two nodes with identical predecessor and
+//     successor sets merge into one with the max distribution (product of
+//     CDFs — exact under independence);
+//   - when the graph is not series-parallel reducible, a node with
+//     in-degree >= 2 is duplicated, one copy per predecessor, and the
+//     copies are treated as independent. This is the approximation step:
+//     it preserves the set of paths but ignores the positive correlation
+//     induced by the shared node, biasing the estimated maximum upward.
+//
+// Intermediate supports are quantized to MaxBins points. Dodin returns
+// an error if the step budget is exhausted.
+func Dodin(g *Graph, opts DodinOptions) (float64, error) {
+	d, err := DodinDistribution(g, opts)
+	if err != nil {
+		return 0, err
+	}
+	return d.Mean(), nil
+}
+
+// DodinDistribution returns the full approximated makespan distribution.
+func DodinDistribution(g *Graph, opts DodinOptions) (*dist.Discrete, error) {
+	opts = opts.withDefaults()
+	if g.Len() == 0 {
+		return dist.Point(0), nil
+	}
+	r := newReducer(g, opts)
+	for r.aliveCount > 1 {
+		if r.steps > opts.Budget {
+			return nil, fmt.Errorf("probdag: dodin budget exhausted (%d steps, %d nodes alive)", r.steps, r.aliveCount)
+		}
+		if r.serialPass() {
+			continue
+		}
+		if r.parallelPass() {
+			continue
+		}
+		if !r.duplicate() {
+			return nil, fmt.Errorf("probdag: dodin stuck with %d nodes and no reduction", r.aliveCount)
+		}
+	}
+	for id, n := range r.nodes {
+		if n.alive {
+			return r.nodes[id].d, nil
+		}
+	}
+	return nil, fmt.Errorf("probdag: dodin lost all nodes")
+}
+
+type rnode struct {
+	d     *dist.Discrete
+	succ  map[int]bool
+	pred  map[int]bool
+	alive bool
+}
+
+type reducer struct {
+	nodes      []*rnode
+	aliveCount int
+	steps      int
+	opts       DodinOptions
+}
+
+func newReducer(g *Graph, opts DodinOptions) *reducer {
+	r := &reducer{opts: opts}
+	for i := 0; i < g.Len(); i++ {
+		n := &rnode{d: g.dists[i], succ: map[int]bool{}, pred: map[int]bool{}, alive: true}
+		r.nodes = append(r.nodes, n)
+	}
+	for u := 0; u < g.Len(); u++ {
+		for _, v := range g.succ[u] {
+			r.nodes[u].succ[int(v)] = true
+			r.nodes[int(v)].pred[u] = true
+		}
+	}
+	r.aliveCount = g.Len()
+	return r
+}
+
+func (r *reducer) quantize(d *dist.Discrete) *dist.Discrete {
+	return d.QuantizeNearest(r.opts.MaxBins)
+}
+
+// serialPass merges every chain link it can find; returns true if any
+// merge happened.
+func (r *reducer) serialPass() bool {
+	merged := false
+	for v := 0; v < len(r.nodes); v++ {
+		nv := r.nodes[v]
+		if !nv.alive || len(nv.pred) != 1 {
+			continue
+		}
+		u := anyKey(nv.pred)
+		nu := r.nodes[u]
+		if len(nu.succ) != 1 {
+			continue
+		}
+		// Merge v into u: u's duration becomes u+v, u inherits v's succs.
+		r.steps++
+		nu.d = r.quantize(nu.d.Add(nv.d))
+		delete(nu.succ, v)
+		for s := range nv.succ {
+			nu.succ[s] = true
+			ns := r.nodes[s]
+			delete(ns.pred, v)
+			ns.pred[u] = true
+		}
+		nv.alive = false
+		nv.succ, nv.pred = nil, nil
+		r.aliveCount--
+		merged = true
+	}
+	return merged
+}
+
+// parallelPass merges nodes with identical predecessor and successor
+// sets; returns true if any merge happened.
+func (r *reducer) parallelPass() bool {
+	groups := make(map[string][]int)
+	for v, nv := range r.nodes {
+		if !nv.alive {
+			continue
+		}
+		key := setKey(nv.pred) + "|" + setKey(nv.succ)
+		groups[key] = append(groups[key], v)
+	}
+	merged := false
+	for _, g := range groups {
+		if len(g) < 2 {
+			continue
+		}
+		sort.Ints(g)
+		keep := r.nodes[g[0]]
+		for _, v := range g[1:] {
+			r.steps++
+			nv := r.nodes[v]
+			keep.d = r.quantize(keep.d.MaxWith(nv.d))
+			for p := range nv.pred {
+				delete(r.nodes[p].succ, v)
+			}
+			for s := range nv.succ {
+				delete(r.nodes[s].pred, v)
+			}
+			nv.alive = false
+			nv.succ, nv.pred = nil, nil
+			r.aliveCount--
+		}
+		merged = true
+	}
+	return merged
+}
+
+// duplicate picks the node with in-degree >= 2 minimizing
+// (indeg-1)*max(outdeg,1) and splits it into one independent copy per
+// predecessor. Returns false if no candidate exists.
+func (r *reducer) duplicate() bool {
+	best, bestCost := -1, 0
+	for v, nv := range r.nodes {
+		if !nv.alive || len(nv.pred) < 2 {
+			continue
+		}
+		out := len(nv.succ)
+		if out < 1 {
+			out = 1
+		}
+		cost := (len(nv.pred) - 1) * out
+		if best == -1 || cost < bestCost {
+			best, bestCost = v, cost
+		}
+	}
+	if best == -1 {
+		return false
+	}
+	nv := r.nodes[best]
+	preds := keys(nv.pred)
+	succs := keys(nv.succ)
+	for s := range nv.succ {
+		delete(r.nodes[s].pred, best)
+	}
+	for _, u := range preds {
+		r.steps++
+		delete(r.nodes[u].succ, best)
+		id := len(r.nodes)
+		copyNode := &rnode{d: nv.d, succ: map[int]bool{}, pred: map[int]bool{u: true}, alive: true}
+		r.nodes = append(r.nodes, copyNode)
+		r.nodes[u].succ[id] = true
+		for _, s := range succs {
+			copyNode.succ[s] = true
+			r.nodes[s].pred[id] = true
+		}
+		r.aliveCount++
+	}
+	nv.alive = false
+	nv.succ, nv.pred = nil, nil
+	r.aliveCount--
+	return true
+}
+
+func anyKey(m map[int]bool) int {
+	for k := range m {
+		return k
+	}
+	return -1
+}
+
+func keys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func setKey(m map[int]bool) string {
+	ks := keys(m)
+	b := make([]byte, 0, len(ks)*4)
+	for _, k := range ks {
+		b = append(b, byte(k), byte(k>>8), byte(k>>16), byte(k>>24))
+	}
+	return string(b)
+}

@@ -1,0 +1,399 @@
+package probdag
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+)
+
+func TestExactSingleNode(t *testing.T) {
+	g := NewGraph()
+	g.AddNode("a", dist.TwoState(10, 15, 0.2))
+	mean, ok := Exact(g, 1<<20)
+	if !ok {
+		t.Fatal("exact must handle one node")
+	}
+	if want := 0.8*10 + 0.2*15; math.Abs(mean-want) > 1e-12 {
+		t.Fatalf("exact = %g, want %g", mean, want)
+	}
+}
+
+func TestExactChainIsSumOfMeans(t *testing.T) {
+	g := chainGraph(6, 10, 15, 0.3)
+	mean, ok := Exact(g, 1<<20)
+	if !ok {
+		t.Fatal("exact budget")
+	}
+	want := 6 * (0.7*10 + 0.3*15)
+	if math.Abs(mean-want) > 1e-9 {
+		t.Fatalf("chain exact = %g, want %g", mean, want)
+	}
+}
+
+func TestExactRefusesHugeDAGs(t *testing.T) {
+	g := chainGraph(40, 1, 2, 0.5)
+	if _, ok := Exact(g, 1000); ok {
+		t.Fatal("must refuse 2^40 combinations")
+	}
+}
+
+func TestExactDiamondByHand(t *testing.T) {
+	// Deterministic a and d; b, c two-state. Makespan = a + max(b, c) + d.
+	b := dist.TwoState(2, 4, 0.5)
+	c := dist.TwoState(3, 5, 0.5)
+	g := diamondGraph(dist.Point(1), b, c, dist.Point(1))
+	mean, ok := Exact(g, 1<<20)
+	if !ok {
+		t.Fatal("budget")
+	}
+	// max(b,c): (2,3)->3, (2,5)->5, (4,3)->4, (4,5)->5, each 1/4.
+	want := 1 + (3+5+4+5)/4.0 + 1
+	if math.Abs(mean-want) > 1e-12 {
+		t.Fatalf("exact diamond = %g, want %g", mean, want)
+	}
+}
+
+func TestMonteCarloMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		g := randomProbDAG(rng, 8, 0.3)
+		exact, ok := Exact(g, 1<<20)
+		if !ok {
+			t.Fatal("budget")
+		}
+		mc := MonteCarlo(g, 60000, rand.New(rand.NewSource(int64(trial))))
+		if math.Abs(mc.Mean-exact) > 4*mc.CI95+1e-9 {
+			t.Fatalf("trial %d: MC %g ± %g vs exact %g", trial, mc.Mean, mc.CI95, exact)
+		}
+	}
+}
+
+func TestPathApproxExactToFirstOrder(t *testing.T) {
+	// For small p the error of PathApprox vs Exact must shrink like p².
+	rng := rand.New(rand.NewSource(19))
+	g0 := randomProbDAG(rng, 9, 0.25)
+	rebuild := func(p float64) *Graph {
+		g := NewGraph()
+		for i := 0; i < g0.Len(); i++ {
+			base := g0.Dist(NodeID(i)).Min()
+			g.AddNode("t", dist.TwoState(base, 1.5*base, p))
+		}
+		for i := 0; i < g0.Len(); i++ {
+			for _, s := range g0.Succ(NodeID(i)) {
+				g.AddEdge(NodeID(i), s)
+			}
+		}
+		return g
+	}
+	var prevErr float64
+	for i, p := range []float64{0.1, 0.01, 0.001} {
+		g := rebuild(p)
+		exact, ok := Exact(g, 1<<20)
+		if !ok {
+			t.Fatal("budget")
+		}
+		err := math.Abs(PathApprox(g) - exact)
+		if i > 0 && prevErr > 1e-12 {
+			// Error should fall at least ~50x for a 10x drop in p (p² scaling,
+			// with slack).
+			if err > prevErr/20 {
+				t.Fatalf("PathApprox error not second-order: p=%g err=%g, prev=%g", p, err, prevErr)
+			}
+		}
+		prevErr = err
+	}
+}
+
+func TestPathApproxAtLeastCriticalPath(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomProbDAG(rng, 3+rng.Intn(20), 0.3)
+		return PathApprox(g) >= CriticalPathBase(g)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathApproxChainClosedForm(t *testing.T) {
+	// Chain of n identical 2-state tasks: E[M] = n·b + n·p·(i−b) exactly
+	// (each inflation adds independently on a chain).
+	g := chainGraph(7, 10, 15, 0.01)
+	want := 7*10 + 7*0.01*5
+	if got := PathApprox(g); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("chain PathApprox = %g, want %g", got, want)
+	}
+	// And the chain case is *exact*: every inflation contributes linearly.
+	exact, _ := Exact(g, 1<<20)
+	if math.Abs(exact-want) > 1e-9 {
+		t.Fatalf("chain exact = %g, want %g", exact, want)
+	}
+}
+
+func TestNormalChain(t *testing.T) {
+	// On a pure chain Sculli is exact for the mean (sum of means).
+	g := chainGraph(9, 10, 15, 0.2)
+	want := 9 * (0.8*10 + 0.2*15)
+	if got := Normal(g); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Sculli chain = %g, want %g", got, want)
+	}
+}
+
+func TestNormalUpwardBiasOnWideJoin(t *testing.T) {
+	// Sculli/Clark is exact-ish for 2 branches and biased for many; it
+	// must at least exceed the base critical path and stay sane.
+	g := NewGraph()
+	src := g.AddNode("s", dist.Point(0))
+	sink := g.AddNode("k", dist.Point(0))
+	for i := 0; i < 20; i++ {
+		n := g.AddNode("b", dist.TwoState(10, 15, 0.1))
+		g.AddEdge(src, n)
+		g.AddEdge(n, sink)
+	}
+	exact := MonteCarlo(g, 200000, rand.New(rand.NewSource(1))).Mean
+	got := Normal(g)
+	if got < 10 || got > 16 {
+		t.Fatalf("Sculli wide join = %g out of range", got)
+	}
+	// Known bias direction for max of many variables via pairwise Clark
+	// maxima: do not assert tightly, just closeness.
+	if math.Abs(got-exact) > 2.5 {
+		t.Fatalf("Sculli too far from MC: %g vs %g", got, exact)
+	}
+}
+
+func TestDodinExactOnSeriesParallel(t *testing.T) {
+	// A pure series-parallel DAG reduces without duplication, so Dodin
+	// (with ample bins) is exact.
+	b := dist.TwoState(2, 4, 0.5)
+	c := dist.TwoState(3, 5, 0.5)
+	g := diamondGraph(dist.Point(1), b, c, dist.Point(1))
+	got, err := Dodin(g, DodinOptions{MaxBins: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Exact(g, 1<<20)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Dodin SP = %g, want %g", got, want)
+	}
+}
+
+func TestDodinChainExact(t *testing.T) {
+	g := chainGraph(5, 10, 15, 0.25)
+	got, err := Dodin(g, DodinOptions{MaxBins: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Exact(g, 1<<20)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Dodin chain = %g, want %g", got, want)
+	}
+}
+
+func TestDodinHandlesNonSP(t *testing.T) {
+	// The N-graph needs a duplication step.
+	g := NewGraph()
+	a := g.AddNode("a", dist.TwoState(1, 2, 0.3))
+	b := g.AddNode("b", dist.TwoState(1, 2, 0.3))
+	c := g.AddNode("c", dist.TwoState(1, 2, 0.3))
+	d := g.AddNode("d", dist.TwoState(1, 2, 0.3))
+	g.AddEdge(a, c)
+	g.AddEdge(b, c)
+	g.AddEdge(b, d)
+	got, err := Dodin(g, DodinOptions{MaxBins: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _ := Exact(g, 1<<20)
+	// Duplication assumes independence: upward bias, bounded.
+	if got < exact-1e-9 {
+		t.Fatalf("Dodin must not underestimate the N-graph: %g < %g", got, exact)
+	}
+	if got > exact*1.2 {
+		t.Fatalf("Dodin bias too large: %g vs %g", got, exact)
+	}
+}
+
+func TestDodinRandomAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 12; trial++ {
+		g := randomProbDAG(rng, 9, 0.3)
+		got, err := Dodin(g, DodinOptions{MaxBins: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, ok := Exact(g, 1<<20)
+		if !ok {
+			t.Fatal("budget")
+		}
+		if dist.RelErr(got, exact) > 0.15 {
+			t.Fatalf("trial %d: Dodin %g vs exact %g", trial, got, exact)
+		}
+	}
+}
+
+func TestDodinBudgetError(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomProbDAG(rng, 30, 0.5)
+	if _, err := Dodin(g, DodinOptions{Budget: 3}); err == nil {
+		t.Fatal("tiny budget must error")
+	}
+}
+
+func TestDodinEmptyGraph(t *testing.T) {
+	d, err := DodinDistribution(NewGraph(), DodinOptions{})
+	if err != nil || d.Mean() != 0 {
+		t.Fatalf("empty graph: %v, %v", d, err)
+	}
+}
+
+func TestEstimatorsOnPointDistributions(t *testing.T) {
+	// All estimators agree with the deterministic critical path.
+	g := diamondGraph(dist.Point(1), dist.Point(2), dist.Point(3), dist.Point(4))
+	want := 8.0
+	if got := PathApprox(g); got != want {
+		t.Fatalf("PathApprox = %g", got)
+	}
+	if got := Normal(g); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Normal = %g", got)
+	}
+	if got, err := Dodin(g, DodinOptions{}); err != nil || math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Dodin = %g, %v", got, err)
+	}
+	mc := MonteCarlo(g, 100, rand.New(rand.NewSource(1)))
+	if mc.Mean != want || mc.StdDev != 0 {
+		t.Fatalf("MC = %+v", mc)
+	}
+}
+
+// All four estimators within tolerance of exact on random small DAGs.
+func TestEstimatorConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomProbDAG(rng, 4+rng.Intn(6), 0.35)
+		exact, ok := Exact(g, 1<<22)
+		if !ok {
+			return true // skip
+		}
+		pa := PathApprox(g)
+		no := Normal(g)
+		do, err := Dodin(g, DodinOptions{MaxBins: 128})
+		if err != nil {
+			return false
+		}
+		return dist.RelErr(pa, exact) < 0.2 && dist.RelErr(no, exact) < 0.2 && dist.RelErr(do, exact) < 0.2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The clamped union-bound PathApprox is bracketed by the base critical
+// path and the all-inflated makespan, and reduces to the plain
+// first-order sum when the total deviation mass is below 1.
+func TestPathApproxBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomProbDAG(rng, 3+rng.Intn(25), 0.3)
+		pa := PathApprox(g)
+		if pa < CriticalPathBase(g)-1e-9 {
+			return false
+		}
+		// Upper bound: every node at its maximum.
+		upper := make([]float64, g.Len())
+		for i := 0; i < g.Len(); i++ {
+			upper[i] = g.Dist(NodeID(i)).Max()
+		}
+		return pa <= g.MakespanGiven(upper)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathApproxMatchesPlainSumAtLowMass(t *testing.T) {
+	// With tiny per-node probabilities the clamp is inactive and the
+	// estimate equals the unclamped first-order sum computed by hand.
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 20; trial++ {
+		g := NewGraph()
+		n := 3 + rng.Intn(10)
+		for i := 0; i < n; i++ {
+			base := 1 + 9*rng.Float64()
+			g.AddNode("t", dist.TwoState(base, 1.5*base, 1e-4*rng.Float64()))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					g.AddEdge(NodeID(i), NodeID(j))
+				}
+			}
+		}
+		// Hand computation of the plain first-order sum.
+		base := g.BaseDurations()
+		m0 := g.MakespanGiven(base)
+		sum := m0
+		for v := 0; v < n; v++ {
+			durs := append([]float64(nil), base...)
+			vals, probs := g.Dist(NodeID(v)).Support(), g.Dist(NodeID(v)).Probs()
+			for j := range vals {
+				if vals[j] == base[v] {
+					continue
+				}
+				durs[v] = vals[j]
+				mv := g.MakespanGiven(durs)
+				if mv < m0 {
+					mv = m0
+				}
+				sum += probs[j] * (mv - m0)
+				durs[v] = base[v]
+			}
+		}
+		if got := PathApprox(g); math.Abs(got-sum) > 1e-9*math.Max(1, sum) {
+			t.Fatalf("trial %d: PathApprox %g vs plain sum %g", trial, got, sum)
+		}
+	}
+}
+
+// Monotonicity: raising a single node's deviation probability never
+// decreases the estimate.
+func TestPathApproxMonotoneInProbability(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(8)
+		edges := [][2]int{}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					edges = append(edges, [2]int{i, j})
+				}
+			}
+		}
+		build := func(pv float64, target int) *Graph {
+			g := NewGraph()
+			for i := 0; i < n; i++ {
+				p := 0.05
+				if i == target {
+					p = pv
+				}
+				g.AddNode("t", dist.TwoState(10, 15, p))
+			}
+			for _, e := range edges {
+				g.AddEdge(NodeID(e[0]), NodeID(e[1]))
+			}
+			return g
+		}
+		target := rng.Intn(n)
+		prev := -1.0
+		for _, p := range []float64{0.01, 0.05, 0.2, 0.5} {
+			got := PathApprox(build(p, target))
+			if got < prev-1e-9 {
+				t.Fatalf("trial %d: estimate fell from %g to %g as p rose", trial, prev, got)
+			}
+			prev = got
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package probdag implements probabilistic task DAGs — DAGs whose node
+// durations are independent finite discrete random variables, in
+// particular the 2-state DAGs produced by the paper's first-order
+// approximation — together with four expected-makespan estimators:
+//
+//   - MonteCarlo: sampling (the ground-truth method, §II-B)
+//   - Normal:     Sculli's method (normal moments + Clark's maximum)
+//   - Dodin:      series-parallel reduction with duplication
+//   - PathApprox: first-order longest-path expansion (method of choice)
+//
+// plus an exact exhaustive evaluator used as a test oracle on small DAGs.
+package probdag
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+)
+
+// NodeID identifies a node in a probabilistic DAG.
+type NodeID int
+
+// Graph is a DAG whose nodes carry duration distributions. The makespan
+// is the longest path (sum of node durations along a path, maximized
+// over paths); edges carry no cost.
+type Graph struct {
+	dists  []*dist.Discrete
+	labels []string
+	succ   [][]NodeID
+	pred   [][]NodeID
+}
+
+// NewGraph returns an empty probabilistic DAG.
+func NewGraph() *Graph { return &Graph{} }
+
+// AddNode appends a node with the given duration distribution.
+func (g *Graph) AddNode(label string, d *dist.Discrete) NodeID {
+	id := NodeID(len(g.dists))
+	g.dists = append(g.dists, d)
+	g.labels = append(g.labels, label)
+	g.succ = append(g.succ, nil)
+	g.pred = append(g.pred, nil)
+	return id
+}
+
+// AddEdge adds the precedence u -> v. Duplicate edges are ignored.
+func (g *Graph) AddEdge(u, v NodeID) {
+	for _, s := range g.succ[u] {
+		if s == v {
+			return
+		}
+	}
+	g.succ[u] = append(g.succ[u], v)
+	g.pred[v] = append(g.pred[v], u)
+}
+
+// Len returns the node count.
+func (g *Graph) Len() int { return len(g.dists) }
+
+// Dist returns node n's duration distribution.
+func (g *Graph) Dist(n NodeID) *dist.Discrete { return g.dists[n] }
+
+// Label returns node n's label.
+func (g *Graph) Label(n NodeID) string { return g.labels[n] }
+
+// Succ returns the successors of n (not to be modified).
+func (g *Graph) Succ(n NodeID) []NodeID { return g.succ[n] }
+
+// Pred returns the predecessors of n (not to be modified).
+func (g *Graph) Pred(n NodeID) []NodeID { return g.pred[n] }
+
+// TopoOrder returns a topological order (Kahn, smallest-ID first), or an
+// error if the graph is cyclic.
+func (g *Graph) TopoOrder() ([]NodeID, error) {
+	n := len(g.dists)
+	indeg := make([]int, n)
+	for _, ss := range g.succ {
+		for _, s := range ss {
+			indeg[s]++
+		}
+	}
+	var ready []NodeID
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, NodeID(i))
+		}
+	}
+	out := make([]NodeID, 0, n)
+	for len(ready) > 0 {
+		// Pop the smallest for determinism.
+		min := 0
+		for i := 1; i < len(ready); i++ {
+			if ready[i] < ready[min] {
+				min = i
+			}
+		}
+		t := ready[min]
+		ready = append(ready[:min], ready[min+1:]...)
+		out = append(out, t)
+		for _, s := range g.succ[t] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("probdag: graph is cyclic")
+	}
+	return out, nil
+}
+
+// MakespanGiven computes the longest path when node i lasts exactly
+// durs[i].
+func (g *Graph) MakespanGiven(durs []float64) float64 {
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	finish := make([]float64, len(durs))
+	max := 0.0
+	for _, v := range order {
+		start := 0.0
+		for _, p := range g.pred[v] {
+			if finish[p] > start {
+				start = finish[p]
+			}
+		}
+		finish[v] = start + durs[int(v)]
+		if finish[v] > max {
+			max = finish[v]
+		}
+	}
+	return max
+}
+
+// BaseDurations returns, per node, the support value with the highest
+// probability (ties to the smaller value). For 2-state paper DAGs this
+// is the no-failure duration.
+func (g *Graph) BaseDurations() []float64 {
+	out := make([]float64, len(g.dists))
+	for i, d := range g.dists {
+		vals, probs := d.Support(), d.Probs()
+		best := 0
+		for j := 1; j < len(vals); j++ {
+			if probs[j] > probs[best] {
+				best = j
+			}
+		}
+		out[i] = vals[best]
+	}
+	return out
+}
+
+// MeanDurations returns each node's expected duration.
+func (g *Graph) MeanDurations() []float64 {
+	out := make([]float64, len(g.dists))
+	for i, d := range g.dists {
+		out[i] = d.Mean()
+	}
+	return out
+}
+
+// Clone returns a deep copy (distributions are shared; they are
+// immutable by convention).
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		dists:  append([]*dist.Discrete(nil), g.dists...),
+		labels: append([]string(nil), g.labels...),
+		succ:   make([][]NodeID, len(g.succ)),
+		pred:   make([][]NodeID, len(g.pred)),
+	}
+	for i := range g.succ {
+		c.succ[i] = append([]NodeID(nil), g.succ[i]...)
+		c.pred[i] = append([]NodeID(nil), g.pred[i]...)
+	}
+	return c
+}

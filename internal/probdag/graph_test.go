@@ -1,0 +1,122 @@
+package probdag
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// chainGraph builds a linear chain of n two-state nodes.
+func chainGraph(n int, base, inflated, p float64) *Graph {
+	g := NewGraph()
+	var prev NodeID
+	for i := 0; i < n; i++ {
+		id := g.AddNode("t", dist.TwoState(base, inflated, p))
+		if i > 0 {
+			g.AddEdge(prev, id)
+		}
+		prev = id
+	}
+	return g
+}
+
+// diamondGraph builds a 4-node diamond with the given distributions.
+func diamondGraph(ds ...*dist.Discrete) *Graph {
+	g := NewGraph()
+	a := g.AddNode("a", ds[0])
+	b := g.AddNode("b", ds[1])
+	c := g.AddNode("c", ds[2])
+	d := g.AddNode("d", ds[3])
+	g.AddEdge(a, b)
+	g.AddEdge(a, c)
+	g.AddEdge(b, d)
+	g.AddEdge(c, d)
+	return g
+}
+
+// randomProbDAG builds a random 2-state DAG.
+func randomProbDAG(rng *rand.Rand, n int, p float64) *Graph {
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		base := 1 + 9*rng.Float64()
+		g.AddNode("t", dist.TwoState(base, 1.5*base, 0.05+0.3*rng.Float64()))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(NodeID(i), NodeID(j))
+			}
+		}
+	}
+	return g
+}
+
+func TestAddEdgeDeduplicates(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode("a", dist.Point(1))
+	b := g.AddNode("b", dist.Point(1))
+	g.AddEdge(a, b)
+	g.AddEdge(a, b)
+	if len(g.Succ(a)) != 1 || len(g.Pred(b)) != 1 {
+		t.Fatal("duplicate edges must be ignored")
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	g := diamondGraph(dist.Point(1), dist.Point(1), dist.Point(1), dist.Point(1))
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != 0 || order[3] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestTopoOrderCycle(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode("a", dist.Point(1))
+	b := g.AddNode("b", dist.Point(1))
+	g.AddEdge(a, b)
+	g.AddEdge(b, a)
+	if _, err := g.TopoOrder(); err == nil {
+		t.Fatal("cycle must be detected")
+	}
+}
+
+func TestMakespanGiven(t *testing.T) {
+	g := diamondGraph(dist.Point(1), dist.Point(2), dist.Point(3), dist.Point(4))
+	// a=1, b=3, c=4, d=max(3,4)+4=8.
+	if m := g.MakespanGiven([]float64{1, 2, 3, 4}); m != 8 {
+		t.Fatalf("makespan = %g", m)
+	}
+}
+
+func TestBaseDurations(t *testing.T) {
+	g := NewGraph()
+	g.AddNode("a", dist.TwoState(10, 15, 0.2)) // base = 10 (p=0.8)
+	g.AddNode("b", dist.TwoState(10, 15, 0.7)) // base = 15 (p=0.7)
+	base := g.BaseDurations()
+	if base[0] != 10 || base[1] != 15 {
+		t.Fatalf("base = %v", base)
+	}
+}
+
+func TestMeanDurations(t *testing.T) {
+	g := NewGraph()
+	g.AddNode("a", dist.TwoState(10, 20, 0.5))
+	if m := g.MeanDurations(); m[0] != 15 {
+		t.Fatalf("means = %v", m)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := chainGraph(3, 1, 2, 0.1)
+	c := g.Clone()
+	c.AddNode("x", dist.Point(1))
+	c.AddEdge(0, 3)
+	if g.Len() != 3 || len(g.Succ(0)) != 1 {
+		t.Fatal("clone must not alias the original")
+	}
+}

@@ -1,0 +1,97 @@
+package probdag
+
+import (
+	"math/rand"
+
+	"repro/internal/dist"
+)
+
+// MonteCarlo estimates the expected makespan by sampling: each trial
+// draws every node duration independently from its distribution and
+// computes the longest path. The paper uses 300,000 trials as the
+// ground truth. The returned Summary includes a 95% confidence interval
+// on the mean.
+func MonteCarlo(g *Graph, trials int, rng *rand.Rand) dist.Summary {
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	n := g.Len()
+	durs := make([]float64, n)
+	finish := make([]float64, n)
+	samples := make([]float64, trials)
+	for t := 0; t < trials; t++ {
+		for i := 0; i < n; i++ {
+			durs[i] = g.dists[i].Sample(rng.Float64())
+		}
+		max := 0.0
+		for _, v := range order {
+			start := 0.0
+			for _, p := range g.pred[v] {
+				if finish[p] > start {
+					start = finish[p]
+				}
+			}
+			finish[v] = start + durs[int(v)]
+			if finish[v] > max {
+				max = finish[v]
+			}
+		}
+		samples[t] = max
+	}
+	return dist.Summarize(samples)
+}
+
+// ExpectedMakespanMC is a convenience wrapper returning only the mean.
+func ExpectedMakespanMC(g *Graph, trials int, seed int64) float64 {
+	return MonteCarlo(g, trials, rand.New(rand.NewSource(seed))).Mean
+}
+
+// Exact computes the exact expected makespan by enumerating every joint
+// realization of the node durations. The number of combinations is the
+// product of support sizes; Exact returns ok=false when it exceeds
+// maxCombos (use it only as a small-DAG test oracle).
+func Exact(g *Graph, maxCombos int) (mean float64, ok bool) {
+	combos := 1
+	for _, d := range g.dists {
+		combos *= d.Len()
+		if combos > maxCombos {
+			return 0, false
+		}
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	n := g.Len()
+	durs := make([]float64, n)
+	finish := make([]float64, n)
+	var rec func(i int, p float64)
+	total := 0.0
+	rec = func(i int, p float64) {
+		if i == n {
+			max := 0.0
+			for _, v := range order {
+				start := 0.0
+				for _, pr := range g.pred[v] {
+					if finish[pr] > start {
+						start = finish[pr]
+					}
+				}
+				finish[v] = start + durs[int(v)]
+				if finish[v] > max {
+					max = finish[v]
+				}
+			}
+			total += p * max
+			return
+		}
+		vals, probs := g.dists[i].Support(), g.dists[i].Probs()
+		for j := range vals {
+			durs[i] = vals[j]
+			rec(i+1, p*probs[j])
+		}
+	}
+	rec(0, 1)
+	return total, true
+}

@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"math/rand"
+
+	"repro/internal/mspg"
+	"repro/internal/platform"
+	"repro/internal/wfdag"
+)
+
+// Options configures Algorithm 1.
+type Options struct {
+	// Linearize orders the tasks of a sub-M-SPG on one processor.
+	// Defaults to RandomLinearizer (the paper's random topological sort).
+	Linearize Linearizer
+	// Rng drives the random linearization. Defaults to a fixed seed for
+	// reproducibility.
+	Rng *rand.Rand
+}
+
+func (o Options) withDefaults() Options {
+	if o.Linearize == nil {
+		o.Linearize = RandomLinearizer
+	}
+	if o.Rng == nil {
+		o.Rng = rand.New(rand.NewSource(1))
+	}
+	return o
+}
+
+// Allocate runs the paper's Algorithm 1 on workflow w over platform p and
+// returns the resulting schedule of superchains. The M-SPG tree is
+// normalized first; the recursion follows the head decomposition
+// G = C ;→ (G1‖…‖Gn) ;→ Gn+1, scheduling C on the first available
+// processor, distributing G1..Gn with PropMap, and recursing on Gn+1 with
+// the full processor set.
+func Allocate(w *mspg.Workflow, p platform.Platform, opts Options) (*Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	s := newSchedule(w, p)
+	procs := make([]int, p.Processors)
+	for i := range procs {
+		procs[i] = i
+	}
+	root := w.Root.Normalize()
+	allocate(s, root, procs, opts)
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// allocate is procedure ALLOCATE of Algorithm 1. When a single processor
+// is available the entire sub-M-SPG becomes one superchain (per §II-C:
+// "each time a sub-M-SPG is scheduled on a single processor, we call the
+// set of its atomic tasks a superchain").
+func allocate(s *Schedule, g *mspg.Node, procs []int, opts Options) {
+	if g == nil {
+		return
+	}
+	if len(procs) == 1 {
+		onOneProcessor(s, g, procs[0], opts)
+		return
+	}
+	h := mspg.Decompose(g)
+	if len(h.Chain) > 0 {
+		onOneProcessor(s, mspg.NewSerial(h.Chain...), procs[0], opts)
+	}
+	if len(h.Parts) > 0 {
+		graphs, counts := PropMap(s.W.G, h.Parts, len(procs))
+		i := 0
+		for k, part := range graphs {
+			allocate(s, part, procs[i:i+counts[k]], opts)
+			i += counts[k]
+		}
+	}
+	allocate(s, h.Rest, procs, opts)
+}
+
+// onOneProcessor is procedure ONONEPROCESSOR: it linearizes the tasks of
+// g with a topological sort and schedules them sequentially on proc,
+// creating one superchain.
+func onOneProcessor(s *Schedule, g *mspg.Node, proc int, opts Options) {
+	if g == nil {
+		return
+	}
+	order := opts.Linearize(s.W.G, g, opts.Rng)
+	s.addSuperchain(proc, order)
+}
+
+// PropMap is procedure PROPMAP: the proportional-mapping heuristic
+// (Pothen & Sun 1993) that distributes n parallel M-SPG components over p
+// processors. With n >= p, components are sorted by non-increasing
+// weight and greedily merged (parallel composition) onto the currently
+// lightest of p buckets, each bucket keeping one processor. With n < p,
+// each component gets its own bucket and the p-n surplus processors are
+// handed one by one to the bucket with the largest remaining weight,
+// discounting its weight by the parallel-efficiency factor
+// W ← W·(1 − 1/procNum).
+//
+// It returns the per-bucket merged components and processor counts;
+// counts sum to min(p, …) consistent with Algorithm 1's partitioning.
+func PropMap(g *wfdag.Graph, parts []*mspg.Node, p int) ([]*mspg.Node, []int) {
+	n := len(parts)
+	if n == 0 || p <= 0 {
+		return nil, nil
+	}
+	k := n
+	if p < k {
+		k = p
+	}
+	order := mspg.SortPartsByWeight(g, parts)
+	graphs := make([]*mspg.Node, k)
+	counts := make([]int, k)
+	weights := make([]float64, k)
+	for i := range counts {
+		counts[i] = 1
+	}
+	if n >= p {
+		for _, idx := range order {
+			j := argmin(weights)
+			weights[j] += parts[idx].Weight(g)
+			graphs[j] = mspg.NewParallel(graphs[j], parts[idx])
+		}
+	} else {
+		for i, idx := range order {
+			graphs[i] = parts[idx]
+			weights[i] = parts[idx].Weight(g)
+		}
+		for surplus := p - n; surplus > 0; surplus-- {
+			j := argmax(weights)
+			counts[j]++
+			weights[j] *= 1 - 1/float64(counts[j])
+		}
+	}
+	return graphs, counts
+}
+
+func argmin(w []float64) int {
+	best := 0
+	for i := 1; i < len(w); i++ {
+		if w[i] < w[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func argmax(w []float64) int {
+	best := 0
+	for i := 1; i < len(w); i++ {
+		if w[i] > w[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,190 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mspg"
+	"repro/internal/wfdag"
+)
+
+// atoms builds n atomic parts with the given weights over a fresh graph.
+func atoms(weights []float64) (*wfdag.Graph, []*mspg.Node) {
+	g := wfdag.New()
+	parts := make([]*mspg.Node, len(weights))
+	for i, w := range weights {
+		parts[i] = mspg.NewAtomic(g.AddTask("t", "k", w))
+	}
+	return g, parts
+}
+
+func TestPropMapFewerProcsThanParts(t *testing.T) {
+	g, parts := atoms([]float64{10, 9, 8, 1, 1, 1})
+	graphs, counts := PropMap(g, parts, 3)
+	if len(graphs) != 3 || len(counts) != 3 {
+		t.Fatalf("got %d graphs, %d counts", len(graphs), len(counts))
+	}
+	for _, c := range counts {
+		if c != 1 {
+			t.Fatalf("counts must all be 1 when n >= p: %v", counts)
+		}
+	}
+	// Greedy balance: 10 | 9+1 | 8+1+1 -> weights 10, 10, 10.
+	for i, gr := range graphs {
+		if w := gr.Weight(g); w != 10 {
+			t.Fatalf("bucket %d weight = %g, want 10", i, w)
+		}
+	}
+}
+
+func TestPropMapMoreProcsThanParts(t *testing.T) {
+	g, parts := atoms([]float64{30, 10})
+	graphs, counts := PropMap(g, parts, 6)
+	if len(graphs) != 2 {
+		t.Fatalf("graphs = %d", len(graphs))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 6 {
+		t.Fatalf("counts %v must sum to 6", counts)
+	}
+	// The heavy part (30) must receive more processors.
+	if counts[0] <= counts[1] {
+		t.Fatalf("heavy part must get more processors: %v", counts)
+	}
+}
+
+func TestPropMapEqualWeights(t *testing.T) {
+	g, parts := atoms([]float64{5, 5, 5, 5})
+	_, counts := PropMap(g, parts, 8)
+	for _, c := range counts {
+		if c != 2 {
+			t.Fatalf("equal parts must split evenly: %v", counts)
+		}
+	}
+}
+
+func TestPropMapSinglePart(t *testing.T) {
+	g, parts := atoms([]float64{7})
+	graphs, counts := PropMap(g, parts, 5)
+	if len(graphs) != 1 || counts[0] != 5 {
+		t.Fatalf("single part gets everything: %v", counts)
+	}
+}
+
+func TestPropMapEmpty(t *testing.T) {
+	g, _ := atoms(nil)
+	graphs, counts := PropMap(g, nil, 4)
+	if graphs != nil || counts != nil {
+		t.Fatal("empty input gives empty output")
+	}
+}
+
+func TestPropMapPreservesTasks(t *testing.T) {
+	g, parts := atoms([]float64{3, 1, 4, 1, 5, 9, 2, 6})
+	graphs, _ := PropMap(g, parts, 3)
+	seen := map[wfdag.TaskID]bool{}
+	for _, gr := range graphs {
+		for _, task := range gr.Tasks() {
+			if seen[task] {
+				t.Fatalf("task %d in two buckets", task)
+			}
+			seen[task] = true
+		}
+	}
+	if len(seen) != 8 {
+		t.Fatalf("covered %d of 8 tasks", len(seen))
+	}
+}
+
+// Properties: counts sum to p when n < p and to min(n,p)=p... — in both
+// regimes the processor counts are positive and sum correctly, and no
+// bucket is empty.
+func TestPropMapInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		p := 1 + rng.Intn(20)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = 1 + 99*rng.Float64()
+		}
+		g, parts := atoms(weights)
+		graphs, counts := PropMap(g, parts, p)
+		k := n
+		if p < k {
+			k = p
+		}
+		if len(graphs) != k || len(counts) != k {
+			return false
+		}
+		sum := 0
+		for i, c := range counts {
+			if c < 1 {
+				return false
+			}
+			sum += c
+			if graphs[i] == nil || graphs[i].NumTasks() == 0 {
+				return false
+			}
+		}
+		if n >= p && sum != p {
+			return false
+		}
+		if n < p && sum != p {
+			return false
+		}
+		// All tasks preserved exactly once.
+		seen := map[wfdag.TaskID]bool{}
+		total := 0
+		for _, gr := range graphs {
+			for _, task := range gr.Tasks() {
+				if seen[task] {
+					return false
+				}
+				seen[task] = true
+				total++
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Greedy balancing bound: with n >= p, max bucket weight <= average +
+// max part weight (standard LPT-style bound).
+func TestPropMapBalanceBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(30)
+		p := 2 + rng.Intn(4)
+		if n < p {
+			n = p
+		}
+		weights := make([]float64, n)
+		totalW, maxW := 0.0, 0.0
+		for i := range weights {
+			weights[i] = 1 + 49*rng.Float64()
+			totalW += weights[i]
+			if weights[i] > maxW {
+				maxW = weights[i]
+			}
+		}
+		g, parts := atoms(weights)
+		graphs, _ := PropMap(g, parts, p)
+		for _, gr := range graphs {
+			if gr.Weight(g) > totalW/float64(p)+maxW+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

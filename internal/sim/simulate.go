@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ckpt"
+	"repro/internal/dist"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// Result reports one simulated execution.
+type Result struct {
+	// Makespan is the wall-clock completion time, including failures.
+	Makespan float64
+	// Failures counts failure events that struck a busy processor (idle
+	// failures are harmless and not counted).
+	Failures int
+}
+
+// RunPlan simulates one execution of a segmented plan (CkptAll,
+// CkptSome, ExitOnly, Periodic) under the given failure source. A
+// segment occupies its processor for R+W+C seconds; a failure during an
+// attempt discards it entirely (in-memory data is lost) and the segment
+// restarts — reading R again from stable storage — as soon as the
+// processor is back (instant reboot, per the paper's model). Checkpoints
+// make completed segments immune to later failures.
+func RunPlan(p *ckpt.Plan, fs FailureSource) (Result, error) {
+	if p.Strategy == ckpt.CkptNone {
+		return Result{}, fmt.Errorf("sim: use RunNone for the CkptNone strategy")
+	}
+	nseg := len(p.Segments)
+	preds := make([][]int, nseg)
+	for _, e := range ckpt.SegmentDeps(p) {
+		preds[e[1]] = append(preds[e[1]], e[0])
+	}
+	// Per-processor ordered segment lists (superchains in temporal
+	// order, segments in chain order).
+	segsByChain := make(map[int][]int)
+	for i, seg := range p.Segments {
+		segsByChain[seg.Chain] = append(segsByChain[seg.Chain], i)
+	}
+	procSegs := make([][]int, p.Platform.Processors)
+	for proc := 0; proc < p.Platform.Processors; proc++ {
+		for _, ci := range p.Sched.ProcSequence(proc) {
+			procSegs[proc] = append(procSegs[proc], segsByChain[ci]...)
+		}
+	}
+
+	finish := make([]float64, nseg)
+	done := make([]bool, nseg)
+	clock := make([]float64, p.Platform.Processors)
+	cursor := make([]int, p.Platform.Processors)
+	res := Result{}
+	remaining := nseg
+	for remaining > 0 {
+		progressed := false
+		for proc := range procSegs {
+			for cursor[proc] < len(procSegs[proc]) {
+				si := procSegs[proc][cursor[proc]]
+				ready := clock[proc]
+				ok := true
+				for _, pr := range preds[si] {
+					if !done[pr] {
+						ok = false
+						break
+					}
+					if finish[pr] > ready {
+						ready = finish[pr]
+					}
+				}
+				if !ok {
+					break
+				}
+				d := p.Segments[si].Span()
+				end, fails := executeWithFailures(fs, proc, ready, d)
+				res.Failures += fails
+				finish[si] = end
+				done[si] = true
+				clock[proc] = end
+				cursor[proc]++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			return Result{}, fmt.Errorf("sim: deadlock with %d segments remaining", remaining)
+		}
+	}
+	for _, f := range finish {
+		if f > res.Makespan {
+			res.Makespan = f
+		}
+	}
+	return res, nil
+}
+
+// executeWithFailures runs one work unit of nominal duration d starting
+// at time start on proc, restarting from scratch on every failure.
+func executeWithFailures(fs FailureSource, proc int, start, d float64) (end float64, failures int) {
+	if d == 0 {
+		return start, 0
+	}
+	attempt := start
+	for {
+		f := fs.NextAfter(proc, attempt)
+		if f >= attempt+d {
+			return attempt + d, failures
+		}
+		failures++
+		attempt = f
+	}
+}
+
+// RunNone simulates the CkptNone strategy with the whole-restart
+// semantics underlying Theorem 1: nothing is ever written to stable
+// storage, so a failure on any processor while the run is in progress
+// loses in-memory data and the entire workflow restarts from scratch.
+// One attempt lasts W_par (the failure-free parallel time of the
+// schedule); the platform-wide failure process has rate p·λ.
+func RunNone(s *sched.Schedule, pf platform.Platform, rng *rand.Rand) Result {
+	wpar := s.FailureFreeMakespan()
+	e := dist.Exponential{Lambda: pf.Lambda * float64(pf.Processors)}
+	res := Result{}
+	t := 0.0
+	for {
+		f := e.Draw(rng)
+		if f >= wpar {
+			res.Makespan = t + wpar
+			return res
+		}
+		res.Failures++
+		t += f
+	}
+}
+
+// EstimateExpected runs trials independent simulations of the plan and
+// summarizes the makespans (mean, CI95, ...). It is the empirical
+// counterpart of the analytic estimators.
+func EstimateExpected(p *ckpt.Plan, trials int, seed int64) (dist.Summary, error) {
+	rng := rand.New(rand.NewSource(seed))
+	samples := make([]float64, trials)
+	for i := 0; i < trials; i++ {
+		fs := NewPoissonFailures(p.Platform.Processors, p.Platform.Lambda, rng)
+		r, err := RunPlan(p, fs)
+		if err != nil {
+			return dist.Summary{}, err
+		}
+		samples[i] = r.Makespan
+	}
+	return dist.Summarize(samples), nil
+}
+
+// EstimateExpectedNone is EstimateExpected for the CkptNone strategy.
+func EstimateExpectedNone(s *sched.Schedule, pf platform.Platform, trials int, seed int64) dist.Summary {
+	rng := rand.New(rand.NewSource(seed))
+	samples := make([]float64, trials)
+	for i := 0; i < trials; i++ {
+		samples[i] = RunNone(s, pf, rng).Makespan
+	}
+	return dist.Summarize(samples)
+}

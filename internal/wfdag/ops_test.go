@@ -1,0 +1,274 @@
+package wfdag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopoOrderDeterministic(t *testing.T) {
+	g := diamond(t)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TaskID{0, 1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	g := randomDAG(rand.New(rand.NewSource(5)), 40, 0.15)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTopo(t, g, order)
+}
+
+func TestRandomTopoOrderRespectsEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		g := randomDAG(rng, 25, 0.2)
+		order, err := g.RandomTopoOrder(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkTopo(t, g, order)
+	}
+}
+
+func TestRandomTopoOrderVaries(t *testing.T) {
+	g := New()
+	a := g.AddTask("a", "k", 1)
+	var tails []TaskID
+	for i := 0; i < 6; i++ {
+		b := g.AddTask("b", "k", 1)
+		g.Connect(a, b, "f", 1)
+		tails = append(tails, b)
+	}
+	_ = tails
+	rng := rand.New(rand.NewSource(3))
+	seen := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		order, err := g.RandomTopoOrder(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := ""
+		for _, o := range order {
+			key += string(rune('a' + int(o)))
+		}
+		seen[key] = true
+	}
+	if len(seen) < 5 {
+		t.Fatalf("random topological sort produced only %d distinct orders", len(seen))
+	}
+}
+
+func checkTopo(t *testing.T, g *Graph, order []TaskID) {
+	t.Helper()
+	if len(order) != g.NumTasks() {
+		t.Fatalf("order has %d tasks, want %d", len(order), g.NumTasks())
+	}
+	pos := make(map[TaskID]int)
+	for i, o := range order {
+		pos[o] = i
+	}
+	for u := 0; u < g.NumTasks(); u++ {
+		for _, v := range g.SuccTasks(TaskID(u)) {
+			if pos[TaskID(u)] >= pos[v] {
+				t.Fatalf("edge %d->%d violated by order %v", u, v, order)
+			}
+		}
+	}
+}
+
+// randomDAG builds a DAG where edge (i, j), i < j, exists with
+// probability p.
+func randomDAG(rng *rand.Rand, n int, p float64) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddTask("t", "k", 1+rng.Float64())
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.Connect(TaskID(i), TaskID(j), "f", rng.Float64()*100)
+			}
+		}
+	}
+	return g
+}
+
+func TestValidateAcceptsDiamond(t *testing.T) {
+	if err := diamond(t).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsNegativeWeight(t *testing.T) {
+	g := New()
+	g.AddTask("a", "k", -1)
+	if err := g.Validate(); err == nil {
+		t.Fatal("negative weight must fail validation")
+	}
+}
+
+func TestValidateRejectsNegativeFileSize(t *testing.T) {
+	g := New()
+	a := g.AddTask("a", "k", 1)
+	g.AddFile("f", -10, a)
+	if err := g.Validate(); err == nil {
+		t.Fatal("negative file size must fail validation")
+	}
+}
+
+func TestWeakComponents(t *testing.T) {
+	g := New()
+	a := g.AddTask("a", "k", 1)
+	b := g.AddTask("b", "k", 1)
+	c := g.AddTask("c", "k", 1)
+	d := g.AddTask("d", "k", 1)
+	g.Connect(a, b, "ab", 1)
+	g.Connect(c, d, "cd", 1)
+	comps := g.WeakComponents()
+	if len(comps) != 2 {
+		t.Fatalf("components = %v", comps)
+	}
+	if comps[0][0] != 0 || comps[0][1] != 1 || comps[1][0] != 2 || comps[1][1] != 3 {
+		t.Fatalf("components = %v", comps)
+	}
+}
+
+func TestWeakComponentsSingle(t *testing.T) {
+	g := diamond(t)
+	if comps := g.WeakComponents(); len(comps) != 1 || len(comps[0]) != 4 {
+		t.Fatalf("components = %v", comps)
+	}
+}
+
+func TestLongestPathDiamond(t *testing.T) {
+	g := diamond(t)
+	finish, makespan, err := g.LongestPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a=1, b=1+2=3, c=1+3=4, d=max(3,4)+4=8.
+	want := []float64{1, 3, 4, 8}
+	for i, f := range finish {
+		if f != want[i] {
+			t.Fatalf("finish = %v, want %v", finish, want)
+		}
+	}
+	if makespan != 8 {
+		t.Fatalf("makespan = %g, want 8", makespan)
+	}
+}
+
+func TestReachableAndAncestors(t *testing.T) {
+	g := diamond(t)
+	r := g.Reachable(0)
+	if !r[1] || !r[2] || !r[3] || r[0] {
+		t.Fatalf("Reachable(a) = %v", r)
+	}
+	an := g.Ancestors(3)
+	if !an[0] || !an[1] || !an[2] || an[3] {
+		t.Fatalf("Ancestors(d) = %v", an)
+	}
+	if len(g.Reachable(3)) != 0 {
+		t.Fatal("sink reaches nothing")
+	}
+}
+
+func TestTransitiveReduction(t *testing.T) {
+	g := diamond(t)
+	// Add the redundant edge a -> d.
+	g.Connect(0, 3, "ad", 1)
+	tr := g.TransitiveReductionEdges()
+	if tr[[2]TaskID{0, 3}] {
+		t.Fatal("a->d is transitively redundant")
+	}
+	for _, e := range [][2]TaskID{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if !tr[e] {
+			t.Fatalf("edge %v missing from reduction %v", e, tr)
+		}
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := diamond(t)
+	in := g.AddFile("wfin", 3, NoTask)
+	g.AddDependency(0, in)
+	sub, remap := g.InducedSubgraph([]TaskID{0, 1})
+	if sub.NumTasks() != 2 {
+		t.Fatalf("sub tasks = %d", sub.NumTasks())
+	}
+	if sub.NumEdges() != 1 {
+		t.Fatalf("sub edges = %d (only a->b survives)", sub.NumEdges())
+	}
+	if len(sub.InputFiles(remap[0])) != 1 {
+		t.Fatal("workflow input must survive into subgraph")
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every topological order of a random DAG is a permutation
+// respecting all edges.
+func TestTopoOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 5+rng.Intn(25), 0.1+0.3*rng.Float64())
+		order, err := g.TopoOrder()
+		if err != nil {
+			return false
+		}
+		pos := make(map[TaskID]int)
+		for i, o := range order {
+			pos[o] = i
+		}
+		for u := 0; u < g.NumTasks(); u++ {
+			for _, v := range g.SuccTasks(TaskID(u)) {
+				if pos[TaskID(u)] >= pos[v] {
+					return false
+				}
+			}
+		}
+		return len(order) == g.NumTasks()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LongestPath finish times satisfy finish[v] >= finish[u] +
+// weight[v] for every edge u->v.
+func TestLongestPathProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, 5+rng.Intn(20), 0.2)
+		finish, makespan, err := g.LongestPath()
+		if err != nil {
+			return false
+		}
+		for u := 0; u < g.NumTasks(); u++ {
+			for _, v := range g.SuccTasks(TaskID(u)) {
+				if finish[v] < finish[u]+g.Task(v).Weight-1e-9 {
+					return false
+				}
+			}
+			if finish[u] > makespan+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
