@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# bench.sh — run the root benchmark suite and record the results as JSON
+# so successive PRs accumulate a perf trajectory (BENCH_1.json, then
+# BENCH_2.json, ...).
+#
+# Usage:
+#   ./bench.sh                 # writes BENCH_1.json (or the next free index)
+#   ./bench.sh out.json        # explicit output path
+#   BENCH='EstimatorPathApprox' BENCHTIME=100x ./bench.sh   # subset / budget
+set -eu
+
+cd "$(dirname "$0")"
+
+OUT="${1:-}"
+if [ -z "$OUT" ]; then
+    i=1
+    while [ -e "BENCH_${i}.json" ]; do
+        i=$((i + 1))
+    done
+    OUT="BENCH_${i}.json"
+fi
+
+TXT="$(mktemp)"
+trap 'rm -f "$TXT"' EXIT
+
+go test -run='^$' -bench="${BENCH:-.}" -benchmem -benchtime="${BENCHTIME:-1x}" . | tee "$TXT"
+
+# Convert `BenchmarkName-N  iters  v unit  v unit ...` lines into a JSON
+# array of {name, iterations, metrics:{unit: value}} objects.
+awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    if (!first) printf ",\n"
+    first = 0
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {", name, $2
+    sep = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        printf "%s\"%s\": %s", sep, $(i + 1), $i
+        sep = ", "
+    }
+    printf "}}"
+}
+END { if (!first) printf "\n"; print "]" }
+' "$TXT" > "$OUT"
+
+echo "wrote $OUT"

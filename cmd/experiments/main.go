@@ -33,14 +33,15 @@ func main() {
 	points := flag.Int("points", 5, "CCR points per decade (figures)")
 	sizes := flag.String("sizes", "", "comma list of workflow sizes (default 50,300,1000)")
 	plots := flag.Bool("plots", true, "print ASCII plots for representative panels")
+	workers := flag.Int("workers", 0, "grid worker goroutines (0 = all cores); rows are identical for any value")
 	flag.Parse()
 
 	runs := map[string]func() error{
-		"fig5":      func() error { return runFigure("genome", "fig5", *out, *seed, *points, *sizes, *plots) },
-		"fig6":      func() error { return runFigure("montage", "fig6", *out, *seed, *points, *sizes, *plots) },
-		"fig7":      func() error { return runFigure("ligo", "fig7", *out, *seed, *points, *sizes, *plots) },
-		"accuracy":  func() error { return runAccuracy(*out, *seed, *truth) },
-		"simcheck":  func() error { return runSimCheck(*out, *seed, *trials) },
+		"fig5":      func() error { return runFigure("genome", "fig5", *out, *seed, *points, *sizes, *plots, *workers) },
+		"fig6":      func() error { return runFigure("montage", "fig6", *out, *seed, *points, *sizes, *plots, *workers) },
+		"fig7":      func() error { return runFigure("ligo", "fig7", *out, *seed, *points, *sizes, *plots, *workers) },
+		"accuracy":  func() error { return runAccuracy(*out, *seed, *truth, *workers) },
+		"simcheck":  func() error { return runSimCheck(*out, *seed, *trials, *workers) },
 		"ablations": func() error { return runAblations(*out, *seed) },
 	}
 	order := []string{"fig5", "fig6", "fig7", "accuracy", "simcheck", "ablations"}
@@ -76,10 +77,11 @@ func parseSizes(s string) []int {
 	return out
 }
 
-func runFigure(family, figName, out string, seed int64, points int, sizes string, plots bool) error {
+func runFigure(family, figName, out string, seed int64, points int, sizes string, plots bool, workers int) error {
 	cfg := expt.FigureConfig(family)
 	cfg.Seed = seed
 	cfg.PointsPerDecade = points
+	cfg.Workers = workers
 	if sz := parseSizes(sizes); sz != nil {
 		cfg.Sizes = sz
 	}
@@ -139,8 +141,8 @@ func middleProcs(keys []expt.GroupKey, k expt.GroupKey) int {
 	return second
 }
 
-func runAccuracy(out string, seed int64, truth int) error {
-	rows, err := expt.RunAccuracy(expt.AccuracyConfig{Seed: seed, TruthTrials: truth})
+func runAccuracy(out string, seed int64, truth, workers int) error {
+	rows, err := expt.RunAccuracy(expt.AccuracyConfig{Seed: seed, TruthTrials: truth, Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -149,18 +151,18 @@ func runAccuracy(out string, seed int64, truth int) error {
 	return saveTableCSV(filepath.Join(out, "accuracy.csv"), header, cells)
 }
 
-func runSimCheck(out string, seed int64, trials int) error {
-	rows, err := expt.RunSimCheck(expt.SimCheckConfig{Seed: seed, Trials: trials})
+func runSimCheck(out string, seed int64, trials, workers int) error {
+	rows, err := expt.RunSimCheck(expt.SimCheckConfig{Seed: seed, Trials: trials, Workers: workers})
 	if err != nil {
 		return err
 	}
-	header := []string{"family", "tasks", "procs", "pfail", "ccr", "strategy", "analytic", "sim_mean", "sim_ci95", "rel_diff"}
+	header := []string{"family", "tasks", "procs", "pfail", "ccr", "strategy", "analytic", "sim_mean", "sim_ci95", "rel_diff", "mean_failures"}
 	var cells [][]string
 	for _, r := range rows {
 		cells = append(cells, []string{
 			r.Family, fmt.Sprint(r.Tasks), fmt.Sprint(r.Procs), fmt.Sprint(r.PFail), fmt.Sprint(r.CCR),
 			r.Strategy, fmt.Sprintf("%.6g", r.Analytic), fmt.Sprintf("%.6g", r.SimMean),
-			fmt.Sprintf("%.3g", r.SimCI95), fmt.Sprintf("%.4f", r.RelDiff),
+			fmt.Sprintf("%.3g", r.SimCI95), fmt.Sprintf("%.4f", r.RelDiff), fmt.Sprintf("%.3g", r.Failures),
 		})
 	}
 	expt.WriteTable(os.Stdout, header, cells)

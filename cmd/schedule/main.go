@@ -30,6 +30,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "seed")
 	bw := flag.Float64("bw", 1e8, "stable storage bandwidth, bytes/s")
 	verbose := flag.Bool("v", false, "print every superchain and checkpoint")
+	workers := flag.Int("workers", 0, "strategy evaluation goroutines (0 = all cores)")
 	flag.Parse()
 
 	w, err := loadOrGenerate(*input, *family, *tasks, *seed)
@@ -41,7 +42,15 @@ func main() {
 	fmt.Printf("workflow  %s (%d tasks, %d files, CCR %.4g, lambda %.4g)\n",
 		w.Name, w.G.NumTasks(), w.G.NumFiles(), pf.CCR(w.G), pf.Lambda)
 
-	cmp, err := core.Compare(w, pf, core.Config{Seed: *seed})
+	// The three strategies share one schedule; Compare plans and
+	// evaluates them concurrently on the worker pool. The flag's
+	// 0-means-all-cores convention maps onto Compare's negative value
+	// (its own 0 keeps grid harnesses serial per cell).
+	poolSize := *workers
+	if poolSize == 0 {
+		poolSize = -1
+	}
+	cmp, err := core.Compare(w, pf, core.Config{Seed: *seed, Workers: poolSize})
 	if err != nil {
 		fatal(err)
 	}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/ckpt"
 	"repro/internal/mspg"
+	"repro/internal/par"
 	"repro/internal/platform"
 	"repro/internal/sched"
 )
@@ -38,6 +39,12 @@ type Config struct {
 	// the paper's Eq. (2); ckpt.ModelExact accounts for multiple
 	// successive failures — see ablation A4).
 	Model ckpt.CostModel
+	// Workers fans Compare's per-strategy planning/evaluation out over
+	// goroutines (the schedule is shared and read-only at that stage).
+	// 0 or 1 keeps the historical serial path — grid harnesses that
+	// already parallelize over cells should leave it there; negative
+	// selects GOMAXPROCS.
+	Workers int
 }
 
 // Result is the outcome of planning one strategy on one workflow.
@@ -123,7 +130,10 @@ func (c Comparison) RelAll() float64 { return c.All.ExpectedMakespan / c.Some.Ex
 func (c Comparison) RelNone() float64 { return c.None.ExpectedMakespan / c.Some.ExpectedMakespan }
 
 // Compare evaluates CkptSome, CkptAll and CkptNone on the same schedule
-// of w over pf — the experiment underlying Figures 5-7.
+// of w over pf — the experiment underlying Figures 5-7. With
+// cfg.Workers above 1 the three strategies are planned and evaluated
+// concurrently (plan building only reads the schedule); the result is
+// identical either way.
 func Compare(w *mspg.Workflow, pf platform.Platform, cfg Config) (Comparison, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
@@ -135,22 +145,24 @@ func Compare(w *mspg.Workflow, pf platform.Platform, cfg Config) (Comparison, er
 	if err != nil {
 		return Comparison{}, err
 	}
-	var out Comparison
-	for _, strat := range []ckpt.Strategy{ckpt.CkptSome, ckpt.CkptAll, ckpt.CkptNone} {
+	strategies := []ckpt.Strategy{ckpt.CkptSome, ckpt.CkptAll, ckpt.CkptNone}
+	results := make([]*Result, len(strategies))
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	err = par.ForEach(workers, len(strategies), func(i int) error {
 		c := cfg
-		c.Strategy = strat
+		c.Strategy = strategies[i]
 		r, err := RunOnSchedule(s, pf, c)
 		if err != nil {
-			return Comparison{}, err
+			return err
 		}
-		switch strat {
-		case ckpt.CkptSome:
-			out.Some = r
-		case ckpt.CkptAll:
-			out.All = r
-		case ckpt.CkptNone:
-			out.None = r
-		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return Comparison{}, err
 	}
-	return out, nil
+	return Comparison{Some: results[0], All: results[1], None: results[2]}, nil
 }

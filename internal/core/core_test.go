@@ -176,3 +176,28 @@ func TestCheaperIOMoreCheckpoints(t *testing.T) {
 		first = false
 	}
 }
+
+func TestCompareParallelMatchesSerial(t *testing.T) {
+	w, pf := setup(t, "montage", 80, 5, 0.001, 0.05)
+	serial, err := Compare(w, pf, Config{Seed: 7, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{-1, 3, 8} {
+		par, err := Compare(w, pf, Config{Seed: 7, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pair := range [][2]*Result{
+			{par.Some, serial.Some}, {par.All, serial.All}, {par.None, serial.None},
+		} {
+			got, want := pair[0], pair[1]
+			if got.ExpectedMakespan != want.ExpectedMakespan ||
+				got.Checkpoints != want.Checkpoints ||
+				got.Segments != want.Segments ||
+				got.FailureFreeMakespan != want.FailureFreeMakespan {
+				t.Fatalf("workers=%d %s: %+v != serial %+v", workers, got.Strategy, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package dist
+
+import "math"
+
+// Normal is a normal distribution identified by its first two moments,
+// the currency of Sculli's estimator: completion times are propagated as
+// (Mu, Sigma) pairs, sums add moments exactly and maxima are folded with
+// Clark's formulas.
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// PointNormal returns the degenerate normal concentrated on x.
+func PointNormal(x float64) Normal { return Normal{Mu: x} }
+
+// NormalFromDiscrete matches a normal to the first two moments of a
+// finite discrete distribution.
+func NormalFromDiscrete(d *Discrete) Normal {
+	return Normal{Mu: d.Mean(), Sigma: math.Sqrt(math.Max(0, d.Variance()))}
+}
+
+// AddN returns the sum of two independent normals (moments add; the
+// variance is the sum of variances).
+func (n Normal) AddN(o Normal) Normal {
+	return Normal{
+		Mu:    n.Mu + o.Mu,
+		Sigma: math.Hypot(n.Sigma, o.Sigma),
+	}
+}
+
+// MaxClark returns the normal matching the first two moments of
+// max(X, Y) for independent X ~ n and Y ~ o (Clark 1961, equations 2, 3
+// and 5 with correlation 0). When both inputs are degenerate the exact
+// deterministic maximum is returned.
+func (n Normal) MaxClark(o Normal) Normal {
+	theta2 := n.Sigma*n.Sigma + o.Sigma*o.Sigma
+	if theta2 <= 0 {
+		return PointNormal(math.Max(n.Mu, o.Mu))
+	}
+	theta := math.Sqrt(theta2)
+	alpha := (n.Mu - o.Mu) / theta
+	cdf := stdNormalCDF(alpha)
+	cdfNeg := stdNormalCDF(-alpha)
+	pdf := stdNormalPDF(alpha)
+	m1 := n.Mu*cdf + o.Mu*cdfNeg + theta*pdf
+	m2 := (n.Mu*n.Mu+n.Sigma*n.Sigma)*cdf +
+		(o.Mu*o.Mu+o.Sigma*o.Sigma)*cdfNeg +
+		(n.Mu+o.Mu)*theta*pdf
+	return Normal{Mu: m1, Sigma: math.Sqrt(math.Max(0, m2-m1*m1))}
+}
+
+func stdNormalCDF(x float64) float64 { return 0.5 * (1 + math.Erf(x/math.Sqrt2)) }
+
+func stdNormalPDF(x float64) float64 { return math.Exp(-x*x/2) / math.Sqrt(2*math.Pi) }

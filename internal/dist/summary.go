@@ -1,0 +1,57 @@
+package dist
+
+import "math"
+
+// Summary condenses a sample of real values: mean, spread and a 95%
+// normal-approximation confidence interval on the mean.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n−1 denominator)
+	Min    float64
+	Max    float64
+	CI95   float64 // half-width of the 95% CI on the mean
+}
+
+// Summarize computes the Summary of xs. An empty sample yields the zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}
+	}
+	s := Summary{N: n, Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(n)
+	if n > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(n-1))
+		s.CI95 = 1.96 * s.StdDev / math.Sqrt(float64(n))
+	}
+	return s
+}
+
+// RelErr returns the relative error |est − truth| / |truth|. A zero
+// truth yields 0 when est is also zero and +Inf otherwise.
+func RelErr(est, truth float64) float64 {
+	if truth == 0 {
+		if est == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(est-truth) / math.Abs(truth)
+}

@@ -67,7 +67,7 @@ func (c AblationConfig) withDefaults() AblationConfig {
 // the same schedule.
 func AblateCheckpointPlacement(cfg AblationConfig) ([]AblationRow, error) {
 	cfg = cfg.withDefaults()
-	w, err := pegasus.Generate(cfg.Family, pegasus.Options{Tasks: cfg.Tasks, Seed: cfg.Seed})
+	w, err := pegasus.CachedGenerate(cfg.Family, pegasus.Options{Tasks: cfg.Tasks, Seed: cfg.Seed})
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +118,7 @@ func AblateCheckpointPlacement(cfg AblationConfig) ([]AblationRow, error) {
 // schedule, quantifying what proportional mapping buys.
 func AblateMapping(cfg AblationConfig) ([]AblationRow, error) {
 	cfg = cfg.withDefaults()
-	w, err := pegasus.Generate(cfg.Family, pegasus.Options{Tasks: cfg.Tasks, Seed: cfg.Seed})
+	w, err := pegasus.CachedGenerate(cfg.Family, pegasus.Options{Tasks: cfg.Tasks, Seed: cfg.Seed})
 	if err != nil {
 		return nil, err
 	}
@@ -157,7 +157,7 @@ func AblateLinearization(cfg AblationConfig) ([]AblationRow, error) {
 	var rows []AblationRow
 	var someEM float64
 	for i, v := range variants {
-		w, err := pegasus.Generate(cfg.Family, pegasus.Options{Tasks: cfg.Tasks, Seed: cfg.Seed})
+		w, err := pegasus.CachedGenerate(cfg.Family, pegasus.Options{Tasks: cfg.Tasks, Seed: cfg.Seed})
 		if err != nil {
 			return nil, err
 		}

@@ -2,7 +2,6 @@ package expt
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"repro/internal/ckpt"
@@ -26,8 +25,11 @@ type AccuracyRow struct {
 	Truth     float64 // high-trial Monte Carlo mean
 	TruthCI95 float64
 	RelError  float64
-	Elapsed   time.Duration
-	Err       string // non-empty when the estimator failed (e.g. Dodin budget)
+	// Elapsed is the estimator's wall clock. With Workers > 1 other
+	// grid cells run concurrently, so compare Elapsed across estimators
+	// within one run, not across runs with different worker counts.
+	Elapsed time.Duration
+	Err     string // non-empty when the estimator failed (e.g. Dodin budget)
 }
 
 // AccuracyConfig parameterizes the estimator-accuracy experiment.
@@ -39,6 +41,12 @@ type AccuracyConfig struct {
 	TruthTrials int // paper: 300,000
 	Seed        int64
 	Bandwidth   float64
+	// Workers sizes the grid worker pool; 0 means GOMAXPROCS. A
+	// single-cell grid hands the pool to the ground-truth Monte Carlo
+	// instead (chunked trials); multi-cell grids keep each cell's MC
+	// serial so the pools don't multiply. The rows are worker-count
+	// invariant either way.
+	Workers int
 }
 
 func (c AccuracyConfig) withDefaults() AccuracyConfig {
@@ -66,55 +74,85 @@ func (c AccuracyConfig) withDefaults() AccuracyConfig {
 	return c
 }
 
+// accuracyMethods is the number of estimator rows emitted per cell.
+const accuracyMethods = 4
+
 // RunAccuracy builds the CkptSome segment DAG for every configuration
 // and evaluates it with MonteCarlo (at the ground-truth trial count),
 // Dodin, Normal and PathApprox, recording relative errors and runtimes.
+// Cells run on the Engine worker pool with index-ordered collection.
 func RunAccuracy(cfg AccuracyConfig) ([]AccuracyRow, error) {
 	cfg = cfg.withDefaults()
-	var rows []AccuracyRow
+	type cell struct {
+		family string
+		size   int
+		pfail  float64
+	}
+	var cells []cell
 	for _, fam := range cfg.Families {
 		for _, size := range cfg.Sizes {
-			procs := pegasus.PaperProcessorCounts(size)[1]
 			for _, pfail := range cfg.PFails {
-				w, err := pegasus.Generate(fam, pegasus.Options{Tasks: size, Seed: cfg.Seed})
-				if err != nil {
-					return nil, err
-				}
-				pf := platform.New(procs, 0, cfg.Bandwidth).WithLambdaForPFail(pfail, w.G)
-				pf.ScaleToCCR(w.G, cfg.CCR)
-				res, err := core.Run(w, pf, core.Config{Strategy: ckpt.CkptSome, Seed: cfg.Seed})
-				if err != nil {
-					return nil, err
-				}
-				g, err := ckpt.EvalDAG(res.Plan)
-				if err != nil {
-					return nil, err
-				}
-				truth := probdag.MonteCarlo(g, cfg.TruthTrials, rand.New(rand.NewSource(cfg.Seed)))
-				base := AccuracyRow{Family: fam, Tasks: size, Procs: procs, PFail: pfail, CCR: cfg.CCR,
-					Truth: truth.Mean, TruthCI95: truth.CI95}
-				rows = append(rows, evalAll(g, base, cfg)...)
+				cells = append(cells, cell{fam, size, pfail})
 			}
 		}
+	}
+	rows := make([]AccuracyRow, len(cells)*accuracyMethods)
+	// Cell-level and trial-level parallelism must not multiply: grids
+	// with one cell give the worker pool to the ground-truth Monte
+	// Carlo, everything larger parallelizes over cells only.
+	mcWorkers := 1
+	if len(cells) == 1 {
+		mcWorkers = cfg.Workers
+	}
+	err := Engine{Workers: cfg.Workers}.ForEach(len(cells), func(i int) error {
+		c := cells[i]
+		procs := pegasus.PaperProcessorCounts(c.size)[1]
+		w, err := pegasus.CachedGenerate(c.family, pegasus.Options{Tasks: c.size, Seed: cfg.Seed})
+		if err != nil {
+			return err
+		}
+		pf := platform.New(procs, 0, cfg.Bandwidth).WithLambdaForPFail(c.pfail, w.G)
+		pf.ScaleToCCR(w.G, cfg.CCR)
+		res, err := core.Run(w, pf, core.Config{Strategy: ckpt.CkptSome, Seed: cfg.Seed})
+		if err != nil {
+			return err
+		}
+		g, err := ckpt.EvalDAG(res.Plan)
+		if err != nil {
+			return err
+		}
+		truth := probdag.MonteCarloSeeded(g, cfg.TruthTrials, cfg.Seed, mcWorkers)
+		base := AccuracyRow{Family: c.family, Tasks: c.size, Procs: procs, PFail: c.pfail, CCR: cfg.CCR,
+			Truth: truth.Mean, TruthCI95: truth.CI95}
+		return evalAll(g, base, cfg, rows[i*accuracyMethods:(i+1)*accuracyMethods])
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
 
-func evalAll(g *probdag.Graph, base AccuracyRow, cfg AccuracyConfig) []AccuracyRow {
+// evalAll runs the four estimators on one segment DAG, writing one row
+// per method into out (len accuracyMethods). Normal and PathApprox share
+// one reusable Evaluator.
+func evalAll(g *probdag.Graph, base AccuracyRow, cfg AccuracyConfig, out []AccuracyRow) error {
+	ev, err := probdag.NewEvaluator(g)
+	if err != nil {
+		return err
+	}
 	type method struct {
 		name string
 		f    func() (float64, error)
 	}
-	methods := []method{
+	methods := [accuracyMethods]method{
 		{"MonteCarlo(10k)", func() (float64, error) {
-			return probdag.MonteCarlo(g, 10000, rand.New(rand.NewSource(cfg.Seed+1))).Mean, nil
+			return probdag.MonteCarloSeeded(g, 10000, cfg.Seed+1, 1).Mean, nil
 		}},
 		{"Dodin", func() (float64, error) { return probdag.Dodin(g, probdag.DodinOptions{}) }},
-		{"Normal", func() (float64, error) { return probdag.Normal(g), nil }},
-		{"PathApprox", func() (float64, error) { return probdag.PathApprox(g), nil }},
+		{"Normal", func() (float64, error) { return ev.Normal(), nil }},
+		{"PathApprox", func() (float64, error) { return ev.PathApprox(), nil }},
 	}
-	var rows []AccuracyRow
-	for _, m := range methods {
+	for i, m := range methods {
 		r := base
 		r.Estimator = m.name
 		start := time.Now()
@@ -126,9 +164,9 @@ func evalAll(g *probdag.Graph, base AccuracyRow, cfg AccuracyConfig) []AccuracyR
 			r.Estimate = est
 			r.RelError = dist.RelErr(est, base.Truth)
 		}
-		rows = append(rows, r)
+		out[i] = r
 	}
-	return rows
+	return nil
 }
 
 // FormatAccuracy renders accuracy rows as a table.

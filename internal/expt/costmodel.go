@@ -43,7 +43,7 @@ func AblateCostModel(cfg AblationConfig, trials int) ([]CostModelRow, error) {
 	if trials == 0 {
 		trials = 1000
 	}
-	w, err := pegasus.Generate(cfg.Family, pegasus.Options{Tasks: cfg.Tasks, Seed: cfg.Seed})
+	w, err := pegasus.CachedGenerate(cfg.Family, pegasus.Options{Tasks: cfg.Tasks, Seed: cfg.Seed})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,173 @@
+package expt
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestEngineForEachVisitsEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		const n = 100
+		var hits [n]atomic.Int32
+		err := Engine{Workers: workers}.ForEach(n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestEngineForEachReportsSmallestIndexError(t *testing.T) {
+	bad3 := errors.New("cell 3")
+	bad7 := errors.New("cell 7")
+	err := Engine{Workers: 4}.ForEach(10, func(i int) error {
+		switch i {
+		case 3:
+			return bad3
+		case 7:
+			return bad7
+		}
+		return nil
+	})
+	if !errors.Is(err, bad3) {
+		t.Fatalf("err = %v, want the smallest failing index", err)
+	}
+	if err := (Engine{}).ForEach(0, func(int) error { t.Fatal("no cells"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// stripElapsed clears the wall-clock field, the only legitimately
+// nondeterministic part of an accuracy row.
+func stripElapsed(rows []AccuracyRow) []AccuracyRow {
+	out := append([]AccuracyRow(nil), rows...)
+	for i := range out {
+		out[i].Elapsed = 0
+	}
+	return out
+}
+
+func TestRunSweepParallelBitIdentical(t *testing.T) {
+	cfg := SweepConfig{
+		Family: "genome", Sizes: []int{50}, PFails: []float64{0.01, 0.001},
+		CCRMin: 1e-3, CCRMax: 1e-2, PointsPerDecade: 2, Seed: 3,
+	}
+	cfg.Workers = 1
+	serial, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		cfg.Workers = workers
+		par, err := RunSweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(par, serial) {
+			t.Fatalf("workers=%d rows differ from serial run", workers)
+		}
+	}
+}
+
+func TestRunAccuracyParallelBitIdentical(t *testing.T) {
+	cfg := AccuracyConfig{
+		Families: []string{"genome", "montage"}, Sizes: []int{50},
+		PFails: []float64{0.001}, TruthTrials: 9000, Seed: 3,
+	}
+	cfg.Workers = 1
+	serial, err := RunAccuracy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, err := RunAccuracy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripElapsed(par), stripElapsed(serial)) {
+		t.Fatal("parallel accuracy rows differ from serial run")
+	}
+}
+
+func TestRunSimCheckParallelBitIdentical(t *testing.T) {
+	cfg := SimCheckConfig{
+		Families: []string{"genome", "ligo"}, Tasks: 50, Procs: 5,
+		PFails: []float64{0.001}, CCR: 0.01, Trials: 200, Seed: 3,
+	}
+	cfg.Workers = 1
+	serial, err := RunSimCheck(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, err := RunSimCheck(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par, serial) {
+		t.Fatal("parallel simcheck rows differ from serial run")
+	}
+}
+
+func TestSweepConfigProcsOverride(t *testing.T) {
+	cfg := SweepConfig{
+		Family: "genome", Sizes: []int{50}, PFails: []float64{0.001},
+		CCRMin: 1e-3, CCRMax: 1e-2, PointsPerDecade: 2, Seed: 3,
+		Procs: []int{5},
+	}
+	rows, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 size × 1 proc count × 1 pfail × 3 CCRs.
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Procs != 5 {
+			t.Fatalf("procs = %d", r.Procs)
+		}
+	}
+}
+
+func TestCCRGridEndpointsExact(t *testing.T) {
+	// 7 decades at 5/decade: the drifting accumulator missed decade
+	// boundaries by growing float error; the indexed form cannot.
+	grid := CCRGrid(1e-6, 10, 5)
+	if len(grid) != 36 {
+		t.Fatalf("7 decades at 5/decade: %d points", len(grid))
+	}
+	if grid[0] != 1e-6 {
+		t.Fatalf("low endpoint %g", grid[0])
+	}
+	for d := 0; d < 7; d++ {
+		if got, want := grid[5*d], 1e-6*pow10(d); relDiff(got, want) > 1e-12 {
+			t.Fatalf("decade %d: %g, want %g", d, got, want)
+		}
+	}
+}
+
+func pow10(d int) float64 {
+	out := 1.0
+	for i := 0; i < d; i++ {
+		out *= 10
+	}
+	return out
+}
+
+func relDiff(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d / b
+}

@@ -36,6 +36,8 @@ type SimCheckConfig struct {
 	Trials    int
 	Seed      int64
 	Bandwidth float64
+	// Workers sizes the grid worker pool; 0 means GOMAXPROCS.
+	Workers int
 }
 
 func (c SimCheckConfig) withDefaults() SimCheckConfig {
@@ -66,47 +68,65 @@ func (c SimCheckConfig) withDefaults() SimCheckConfig {
 	return c
 }
 
+// simCheckStrategies is evaluated per cell, in row order.
+var simCheckStrategies = []ckpt.Strategy{ckpt.CkptSome, ckpt.CkptAll, ckpt.CkptNone}
+
 // RunSimCheck measures, for every (family, pfail, strategy), the DES
 // makespan distribution and compares its mean to the analytic estimate.
 // At small λ the first-order model should match within a few percent;
 // the gap widens as λ·(segment span) grows — exactly the Θ(λ²) terms the
-// paper drops.
+// paper drops. (family, pfail) cells run on the Engine worker pool; the
+// three strategies of one cell stay serial on one shared workflow.
 func RunSimCheck(cfg SimCheckConfig) ([]SimCheckRow, error) {
 	cfg = cfg.withDefaults()
-	var rows []SimCheckRow
+	type cell struct {
+		family string
+		pfail  float64
+	}
+	var cells []cell
 	for _, fam := range cfg.Families {
 		for _, pfail := range cfg.PFails {
-			w, err := pegasus.Generate(fam, pegasus.Options{Tasks: cfg.Tasks, Seed: cfg.Seed})
+			cells = append(cells, cell{fam, pfail})
+		}
+	}
+	nstrat := len(simCheckStrategies)
+	rows := make([]SimCheckRow, len(cells)*nstrat)
+	err := Engine{Workers: cfg.Workers}.ForEach(len(cells), func(i int) error {
+		c := cells[i]
+		w, err := pegasus.CachedGenerate(c.family, pegasus.Options{Tasks: cfg.Tasks, Seed: cfg.Seed})
+		if err != nil {
+			return err
+		}
+		pf := platform.New(cfg.Procs, 0, cfg.Bandwidth).WithLambdaForPFail(c.pfail, w.G)
+		pf.ScaleToCCR(w.G, cfg.CCR)
+		for j, strat := range simCheckStrategies {
+			res, err := core.Run(w, pf, core.Config{Strategy: strat, Seed: cfg.Seed})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			pf := platform.New(cfg.Procs, 0, cfg.Bandwidth).WithLambdaForPFail(pfail, w.G)
-			pf.ScaleToCCR(w.G, cfg.CCR)
-			for _, strat := range []ckpt.Strategy{ckpt.CkptSome, ckpt.CkptAll, ckpt.CkptNone} {
-				res, err := core.Run(w, pf, core.Config{Strategy: strat, Seed: cfg.Seed})
+			var s dist.Summary
+			var fails float64
+			if strat == ckpt.CkptNone {
+				s, fails = sim.EstimateExpectedNoneDetail(res.Schedule, pf, cfg.Trials, cfg.Seed)
+			} else {
+				s, fails, err = sim.EstimateExpectedDetail(res.Plan, cfg.Trials, cfg.Seed)
 				if err != nil {
-					return nil, err
+					return err
 				}
-				var s dist.Summary
-				var fails float64
-				if strat == ckpt.CkptNone {
-					s = sim.EstimateExpectedNone(res.Schedule, pf, cfg.Trials, cfg.Seed)
-				} else {
-					s, err = sim.EstimateExpected(res.Plan, cfg.Trials, cfg.Seed)
-					if err != nil {
-						return nil, err
-					}
-				}
-				rows = append(rows, SimCheckRow{
-					Family: fam, Tasks: cfg.Tasks, Procs: cfg.Procs, PFail: pfail, CCR: cfg.CCR,
-					Strategy: string(strat),
-					Analytic: res.ExpectedMakespan,
-					SimMean:  s.Mean, SimCI95: s.CI95,
-					RelDiff:  dist.RelErr(res.ExpectedMakespan, s.Mean),
-					Failures: fails,
-				})
+			}
+			rows[i*nstrat+j] = SimCheckRow{
+				Family: c.family, Tasks: cfg.Tasks, Procs: cfg.Procs, PFail: c.pfail, CCR: cfg.CCR,
+				Strategy: string(strat),
+				Analytic: res.ExpectedMakespan,
+				SimMean:  s.Mean, SimCI95: s.CI95,
+				RelDiff:  dist.RelErr(res.ExpectedMakespan, s.Mean),
+				Failures: fails,
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -3,6 +3,13 @@
 // 5/6/7, the estimator-accuracy study of §VI-B, the simulator
 // cross-validation, and the ablations listed in DESIGN.md. Results are
 // emitted as CSV rows and quick ASCII plots.
+//
+// All grid experiments run on the worker-pool Engine: cells are
+// enumerated up front, fanned out over Workers goroutines (default
+// GOMAXPROCS), and collected by cell index, so output is bit-identical
+// to a serial run. Workflow generation is memoized per (family, size,
+// seed, ragged) — each cell clones a cached DAG instead of regenerating
+// it.
 package expt
 
 import (
@@ -44,6 +51,11 @@ type SweepConfig struct {
 	Bandwidth float64
 	// Ragged switches the Ligo generator to the PWG-artifact mode.
 	Ragged bool
+	// Procs restricts the processor counts; empty means the paper's
+	// per-size counts (pegasus.PaperProcessorCounts).
+	Procs []int
+	// Workers sizes the grid worker pool; 0 means GOMAXPROCS.
+	Workers int
 }
 
 func (c SweepConfig) withDefaults() SweepConfig {
@@ -65,6 +77,14 @@ func (c SweepConfig) withDefaults() SweepConfig {
 	return c
 }
 
+// procsFor returns the processor counts swept for one workflow size.
+func (c SweepConfig) procsFor(size int) []int {
+	if len(c.Procs) > 0 {
+		return c.Procs
+	}
+	return pegasus.PaperProcessorCounts(size)
+}
+
 // FigureConfig returns the paper's grid for the given family: Figure 5
 // (GENOME, CCR 1e-4..1e-2), Figure 6 (MONTAGE, CCR 1e-3..1) or Figure 7
 // (LIGO, CCR 1e-3..1).
@@ -79,41 +99,73 @@ func FigureConfig(family string) SweepConfig {
 	return c.withDefaults()
 }
 
-// CCRGrid returns log-spaced CCR values covering [min, max].
+// CCRGrid returns log-spaced CCR values covering [min, max]. Each point
+// is computed directly as min·10^(i/perDecade) — not by accumulating a
+// log step, which drifts over several decades — so the lower endpoint
+// is hit exactly and decade boundaries stay stable however wide the
+// range is.
 func CCRGrid(min, max float64, perDecade int) []float64 {
-	if min <= 0 || max < min {
+	if min <= 0 || max < min || perDecade <= 0 {
 		return nil
 	}
 	var out []float64
-	logStep := 1 / float64(perDecade)
-	for l := math.Log10(min); l <= math.Log10(max)+1e-9; l += logStep {
-		out = append(out, math.Pow(10, l))
+	for i := 0; ; i++ {
+		v := min * math.Pow(10, float64(i)/float64(perDecade))
+		if v > max*(1+1e-9) {
+			break
+		}
+		out = append(out, v)
 	}
 	return out
 }
 
-// RunSweep evaluates the three strategies over the full grid of one
-// figure. For each (size, procs, pfail, ccr) point a fresh workflow is
-// generated with the sweep seed, its file sizes rescaled to hit the CCR,
-// λ calibrated from pfail, one schedule built, and all three strategies
-// evaluated on that shared schedule with PathApprox (the method of
-// choice per §VI-B).
-func RunSweep(cfg SweepConfig) ([]Row, error) {
-	cfg = cfg.withDefaults()
-	var rows []Row
-	ccrs := CCRGrid(cfg.CCRMin, cfg.CCRMax, cfg.PointsPerDecade)
-	for _, size := range cfg.Sizes {
-		for _, procs := range pegasus.PaperProcessorCounts(size) {
-			for _, pfail := range cfg.PFails {
+// gridPoint is one cell of a sweep grid.
+type gridPoint struct {
+	size  int
+	procs int
+	pfail float64
+	ccr   float64
+}
+
+// enumerate lists the sweep's cells in canonical (size, procs, pfail,
+// ccr) order — the order serial code iterated them in.
+func (c SweepConfig) enumerate() []gridPoint {
+	ccrs := CCRGrid(c.CCRMin, c.CCRMax, c.PointsPerDecade)
+	var pts []gridPoint
+	for _, size := range c.Sizes {
+		for _, procs := range c.procsFor(size) {
+			for _, pfail := range c.PFails {
 				for _, ccr := range ccrs {
-					row, err := RunPoint(cfg, size, procs, pfail, ccr)
-					if err != nil {
-						return nil, err
-					}
-					rows = append(rows, row)
+					pts = append(pts, gridPoint{size, procs, pfail, ccr})
 				}
 			}
 		}
+	}
+	return pts
+}
+
+// RunSweep evaluates the three strategies over the full grid of one
+// figure. For each (size, procs, pfail, ccr) point the memoized workflow
+// is cloned, its file sizes rescaled to hit the CCR, λ calibrated from
+// pfail, one schedule built, and all three strategies evaluated on that
+// shared schedule with PathApprox (the method of choice per §VI-B).
+// Cells run on the Engine worker pool; rows come back in grid order
+// regardless of the worker count.
+func RunSweep(cfg SweepConfig) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	pts := cfg.enumerate()
+	rows := make([]Row, len(pts))
+	err := Engine{Workers: cfg.Workers}.ForEach(len(pts), func(i int) error {
+		p := pts[i]
+		row, err := RunPoint(cfg, p.size, p.procs, p.pfail, p.ccr)
+		if err != nil {
+			return err
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -121,7 +173,7 @@ func RunSweep(cfg SweepConfig) ([]Row, error) {
 // RunPoint evaluates a single grid point.
 func RunPoint(cfg SweepConfig, size, procs int, pfail, ccr float64) (Row, error) {
 	cfg = cfg.withDefaults()
-	w, err := pegasus.Generate(cfg.Family, pegasus.Options{Tasks: size, Seed: cfg.Seed, Ragged: cfg.Ragged})
+	w, err := pegasus.CachedGenerate(cfg.Family, pegasus.Options{Tasks: size, Seed: cfg.Seed, Ragged: cfg.Ragged})
 	if err != nil {
 		return Row{}, err
 	}

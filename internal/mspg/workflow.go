@@ -16,6 +16,13 @@ type Workflow struct {
 	Root *Node
 }
 
+// Clone returns a deep copy of the workflow: the graph (including file
+// sizes, which CCR targeting mutates in place) and the structure tree
+// are both copied, so clones can be scheduled and rescaled concurrently.
+func (w *Workflow) Clone() *Workflow {
+	return &Workflow{Name: w.Name, G: w.G.Clone(), Root: w.Root.Clone()}
+}
+
 // Validate checks that the tree and the graph tell the same story: the
 // tree covers every task exactly once and the task-pair dependency
 // relation induced by the M-SPG algebra equals the graph's dependency

@@ -1,0 +1,65 @@
+// Package par provides the deterministic parallel-for primitive shared
+// by the experiment engine (internal/expt) and the core façade: work
+// items are handed out by ascending index to a fixed goroutine pool and
+// callers write results into index-addressed slots, so output never
+// depends on the worker count or completion order.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(0), …, fn(n-1) on a pool of the given size (0 or less
+// selects GOMAXPROCS). fn must write its result into an index-addressed
+// slot of a caller-owned slice — never append in arrival order. On
+// failure the error with the smallest index among the executed items is
+// returned (what a serial loop stopping at the first error reports) and
+// remaining items may be skipped.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

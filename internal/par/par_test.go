@@ -1,0 +1,48 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachVisitsEachIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 5, 64} {
+		const n = 200
+		var hits [n]atomic.Int32
+		if err := ForEach(workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachSmallestIndexError(t *testing.T) {
+	first := errors.New("first")
+	later := errors.New("later")
+	err := ForEach(8, 50, func(i int) error {
+		switch i {
+		case 2:
+			return first
+		case 40:
+			return later
+		}
+		return nil
+	})
+	if !errors.Is(err, first) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { t.Fatal("no items"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,50 @@
+package pegasus
+
+import (
+	"sync"
+
+	"repro/internal/mspg"
+)
+
+// genKey identifies one deterministic generator output. Options carries
+// exactly these knobs, so the key captures the full input space.
+type genKey struct {
+	family string
+	tasks  int
+	seed   int64
+	ragged bool
+}
+
+var genCache sync.Map // genKey -> *mspg.Workflow (pristine, never handed out)
+
+// CachedGenerate is Generate behind a process-wide memo: the first call
+// for a (family, tasks, seed, ragged) key runs the generator, later
+// calls deep-clone the cached instance instead of regenerating it. The
+// returned workflow is always a private copy — callers may rescale file
+// sizes (ScaleToCCR) or otherwise mutate it freely, which is exactly
+// what every cell of a §VI experiment grid does. Safe for concurrent
+// use.
+func CachedGenerate(family string, opts Options) (*mspg.Workflow, error) {
+	opts = opts.withDefaults()
+	key := genKey{family: family, tasks: opts.Tasks, seed: opts.Seed, ragged: opts.Ragged}
+	if v, ok := genCache.Load(key); ok {
+		return v.(*mspg.Workflow).Clone(), nil
+	}
+	w, err := Generate(family, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Two racing first calls both generate; the generators are
+	// deterministic per key, so either stored instance is equivalent.
+	genCache.Store(key, w.Clone())
+	return w, nil
+}
+
+// ClearGenerateCache drops every memoized workflow (useful to bound
+// memory in long-lived processes sweeping many configurations).
+func ClearGenerateCache() {
+	genCache.Range(func(k, _ any) bool {
+		genCache.Delete(k)
+		return true
+	})
+}

@@ -1,0 +1,75 @@
+package pegasus
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCachedGenerateMatchesGenerate(t *testing.T) {
+	opts := Options{Tasks: 60, Seed: 17}
+	fresh, err := Generate("montage", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := CachedGenerate("montage", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.G.String() != fresh.G.String() {
+		t.Fatalf("cached %s != fresh %s", cached.G, fresh.G)
+	}
+	if err := cached.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCachedGenerateIsolation(t *testing.T) {
+	opts := Options{Tasks: 50, Seed: 23}
+	a, err := CachedGenerate("genome", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := a.G.TotalFileBytes()
+	a.G.ScaleFileSizes(1000) // simulate one grid cell's CCR targeting
+	b, err := CachedGenerate("genome", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.G.TotalFileBytes(); got != before {
+		t.Fatalf("cache leaked a mutation: %g bytes, want %g", got, before)
+	}
+}
+
+func TestCachedGenerateUnknownFamily(t *testing.T) {
+	if _, err := CachedGenerate("nope", Options{}); err == nil {
+		t.Fatal("unknown family must fail")
+	}
+}
+
+func TestCachedGenerateConcurrent(t *testing.T) {
+	ClearGenerateCache()
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	sums := make([]float64, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w, err := CachedGenerate("ligo", Options{Tasks: 50, Seed: 29})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sums[i] = w.G.TotalWeight()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < 8; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if sums[i] != sums[0] {
+			t.Fatalf("divergent concurrent clones: %g vs %g", sums[i], sums[0])
+		}
+	}
+}

@@ -140,14 +140,7 @@ func (g *Graph) MakespanGiven(durs []float64) float64 {
 func (g *Graph) BaseDurations() []float64 {
 	out := make([]float64, len(g.dists))
 	for i, d := range g.dists {
-		vals, probs := d.Support(), d.Probs()
-		best := 0
-		for j := 1; j < len(vals); j++ {
-			if probs[j] > probs[best] {
-				best = j
-			}
-		}
-		out[i] = vals[best]
+		out[i] = d.Base()
 	}
 	return out
 }

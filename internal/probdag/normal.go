@@ -1,7 +1,5 @@
 package probdag
 
-import "repro/internal/dist"
-
 // Normal implements Sculli's method (Sculli 1983, as described by Canon &
 // Jeannot 2016): every completion time is approximated by a normal
 // distribution identified by its first two moments. In topological
@@ -10,6 +8,9 @@ import "repro/internal/dist"
 // assuming independence — and its completion time adds the node's
 // duration moments. The expected makespan is the mean of the pairwise
 // maximum over all sink completions.
+//
+// Normal builds a fresh Evaluator per call; hot loops should hold an
+// Evaluator and call its Normal method, which reuses the moment buffer.
 func Normal(g *Graph) float64 {
 	m, _ := NormalMoments(g)
 	return m
@@ -18,36 +19,5 @@ func Normal(g *Graph) float64 {
 // NormalMoments returns Sculli's mean and standard deviation of the
 // makespan.
 func NormalMoments(g *Graph) (mean, sigma float64) {
-	order, err := g.TopoOrder()
-	if err != nil {
-		panic(err)
-	}
-	if len(order) == 0 {
-		return 0, 0
-	}
-	completion := make([]dist.Normal, g.Len())
-	for _, v := range order {
-		start := dist.PointNormal(0)
-		for i, p := range g.pred[v] {
-			if i == 0 {
-				start = completion[p]
-			} else {
-				start = start.MaxClark(completion[p])
-			}
-		}
-		completion[v] = start.AddN(dist.NormalFromDiscrete(g.dists[v]))
-	}
-	overall := dist.PointNormal(0)
-	first := true
-	for i := range g.succ {
-		if len(g.succ[i]) == 0 {
-			if first {
-				overall = completion[i]
-				first = false
-			} else {
-				overall = overall.MaxClark(completion[i])
-			}
-		}
-	}
-	return overall.Mu, overall.Sigma
+	return mustEvaluator(g).NormalMoments()
 }

@@ -1,7 +1,5 @@
 package probdag
 
-import "sort"
-
 // PathApprox implements the longest-path first-order approximation of
 // the expected makespan (the reconstruction of the method of [23] that
 // §VI-B selects as the method of choice).
@@ -24,84 +22,12 @@ import "sort"
 // without it the additive form diverges in the high-failure panels.
 // All L_v come from forward ("top") and backward ("bottom") longest-
 // path sweeps; total cost O(V + E + D log D) for D deviation terms.
+//
+// PathApprox builds a fresh Evaluator per call; hot loops that evaluate
+// the same graph repeatedly should hold an Evaluator and call its
+// PathApprox method, which does not allocate.
 func PathApprox(g *Graph) float64 {
-	order, err := g.TopoOrder()
-	if err != nil {
-		panic(err)
-	}
-	n := g.Len()
-	if n == 0 {
-		return 0
-	}
-	base := g.BaseDurations()
-
-	top := make([]float64, n) // longest base path ending at v, inclusive
-	for _, v := range order {
-		start := 0.0
-		for _, p := range g.pred[v] {
-			if top[p] > start {
-				start = top[p]
-			}
-		}
-		top[v] = start + base[int(v)]
-	}
-	bottom := make([]float64, n) // longest base path starting at v, inclusive
-	for i := len(order) - 1; i >= 0; i-- {
-		v := order[i]
-		tail := 0.0
-		for _, s := range g.succ[v] {
-			if bottom[s] > tail {
-				tail = bottom[s]
-			}
-		}
-		bottom[v] = tail + base[int(v)]
-	}
-	m0 := 0.0
-	for v := 0; v < n; v++ {
-		if top[v] > m0 {
-			m0 = top[v]
-		}
-	}
-
-	// Collect deviation tails: each (node, non-base value) pair raises
-	// the makespan to U with probability p when U > M₀.
-	type tail struct{ u, p float64 }
-	var tails []tail
-	for v := 0; v < n; v++ {
-		lv := top[v] + bottom[v] - base[v] // longest base path through v
-		vals, probs := g.dists[v].Support(), g.dists[v].Probs()
-		for j := range vals {
-			if vals[j] == base[v] {
-				continue
-			}
-			if u := lv + (vals[j] - base[v]); u > m0 {
-				tails = append(tails, tail{u, probs[j]})
-			}
-		}
-	}
-	if len(tails) == 0 {
-		return m0
-	}
-	// Integrate min(1, Σ active p) from M₀ to the largest U: sweep the
-	// endpoints in ascending order, shedding each tail's mass as t
-	// passes its endpoint.
-	sort.Slice(tails, func(i, j int) bool { return tails[i].u < tails[j].u })
-	active := 0.0
-	for _, tl := range tails {
-		active += tl.p
-	}
-	em := m0
-	t := m0
-	for _, tl := range tails {
-		w := active
-		if w > 1 {
-			w = 1
-		}
-		em += w * (tl.u - t)
-		t = tl.u
-		active -= tl.p
-	}
-	return em
+	return mustEvaluator(g).PathApprox()
 }
 
 // CriticalPathBase returns the makespan when every node takes its base

@@ -139,25 +139,51 @@ func RunNone(s *sched.Schedule, pf platform.Platform, rng *rand.Rand) Result {
 // summarizes the makespans (mean, CI95, ...). It is the empirical
 // counterpart of the analytic estimators.
 func EstimateExpected(p *ckpt.Plan, trials int, seed int64) (dist.Summary, error) {
+	s, _, err := EstimateExpectedDetail(p, trials, seed)
+	return s, err
+}
+
+// EstimateExpectedDetail is EstimateExpected plus the mean number of
+// failures that struck a busy processor per run.
+func EstimateExpectedDetail(p *ckpt.Plan, trials int, seed int64) (dist.Summary, float64, error) {
 	rng := rand.New(rand.NewSource(seed))
 	samples := make([]float64, trials)
+	failures := 0
 	for i := 0; i < trials; i++ {
 		fs := NewPoissonFailures(p.Platform.Processors, p.Platform.Lambda, rng)
 		r, err := RunPlan(p, fs)
 		if err != nil {
-			return dist.Summary{}, err
+			return dist.Summary{}, 0, err
 		}
 		samples[i] = r.Makespan
+		failures += r.Failures
 	}
-	return dist.Summarize(samples), nil
+	return dist.Summarize(samples), meanCount(failures, trials), nil
 }
 
 // EstimateExpectedNone is EstimateExpected for the CkptNone strategy.
 func EstimateExpectedNone(s *sched.Schedule, pf platform.Platform, trials int, seed int64) dist.Summary {
+	sum, _ := EstimateExpectedNoneDetail(s, pf, trials, seed)
+	return sum
+}
+
+// EstimateExpectedNoneDetail is EstimateExpectedNone plus the mean
+// failure count per run.
+func EstimateExpectedNoneDetail(s *sched.Schedule, pf platform.Platform, trials int, seed int64) (dist.Summary, float64) {
 	rng := rand.New(rand.NewSource(seed))
 	samples := make([]float64, trials)
+	failures := 0
 	for i := 0; i < trials; i++ {
-		samples[i] = RunNone(s, pf, rng).Makespan
+		r := RunNone(s, pf, rng)
+		samples[i] = r.Makespan
+		failures += r.Failures
 	}
-	return dist.Summarize(samples)
+	return dist.Summarize(samples), meanCount(failures, trials)
+}
+
+func meanCount(total, trials int) float64 {
+	if trials == 0 {
+		return 0
+	}
+	return float64(total) / float64(trials)
 }

@@ -267,3 +267,26 @@ func TestTraceFailuresOutOfRangeProc(t *testing.T) {
 		t.Fatal("missing processor trace must never fail")
 	}
 }
+
+func TestEstimateExpectedDetailCountsFailures(t *testing.T) {
+	// λ·span ≈ 0.5: most runs see at least one failure.
+	p := chainPlan(t, []float64{10}, 0, 0.05, ckpt.CkptSome)
+	sum, fails, err := EstimateExpectedDetail(p, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails <= 0 {
+		t.Fatalf("mean failures = %g, want > 0 at λ=0.05", fails)
+	}
+	if sum.Mean <= 10 {
+		t.Fatalf("failures must lengthen the mean makespan: %g", sum.Mean)
+	}
+	// The summary matches the plain estimator for the same seed.
+	plain, err := EstimateExpected(p, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != sum {
+		t.Fatalf("detail summary %+v != plain %+v", sum, plain)
+	}
+}
