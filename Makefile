@@ -1,0 +1,38 @@
+# Tier-1 verification is one command: `make check` runs everything the
+# driver gates on (vet, build, full tests under the race detector) plus a
+# one-iteration benchmark smoke so a broken benchmark harness fails fast.
+
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke bench golden-update fuzz-smoke
+
+check: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'EstimatorPathApprox$$|EstimatorDodin$$|SimulatorTrial$$' -benchtime 1x -benchmem .
+
+# Full benchmark sweep, recorded as BENCH_<i>.json (see bench.sh).
+bench:
+	./bench.sh
+
+# Rewrite the golden paper-fidelity expectations after an INTENTIONAL
+# numeric change; inspect the testdata/golden diff before committing.
+golden-update:
+	$(GO) test -run TestGolden -update .
+
+# Short fuzz pass over the workflow loaders.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzReadDAX -fuzztime 10s ./internal/wfdag/
+	$(GO) test -fuzz FuzzReadJSON -fuzztime 10s ./internal/wfdag/

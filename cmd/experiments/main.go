@@ -42,7 +42,7 @@ func main() {
 		"fig7":      func() error { return runFigure("ligo", "fig7", *out, *seed, *points, *sizes, *plots, *workers) },
 		"accuracy":  func() error { return runAccuracy(*out, *seed, *truth, *workers) },
 		"simcheck":  func() error { return runSimCheck(*out, *seed, *trials, *workers) },
-		"ablations": func() error { return runAblations(*out, *seed) },
+		"ablations": func() error { return runAblations(*out, *seed, *workers) },
 	}
 	order := []string{"fig5", "fig6", "fig7", "accuracy", "simcheck", "ablations"}
 	selected := order
@@ -169,8 +169,8 @@ func runSimCheck(out string, seed int64, trials, workers int) error {
 	return saveTableCSV(filepath.Join(out, "simcheck.csv"), header, cells)
 }
 
-func runAblations(out string, seed int64) error {
-	cfg := expt.AblationConfig{Seed: seed}
+func runAblations(out string, seed int64, workers int) error {
+	cfg := expt.AblationConfig{Seed: seed, Workers: workers}
 	var all []expt.AblationRow
 	for _, f := range []func(expt.AblationConfig) ([]expt.AblationRow, error){
 		expt.AblateCheckpointPlacement, expt.AblateMapping, expt.AblateLinearization,
@@ -183,7 +183,7 @@ func runAblations(out string, seed int64) error {
 	}
 	// A4 (extension): first-order vs exact segment cost model under a
 	// high failure rate, validated by discrete-event simulation.
-	a4cfg := expt.AblationConfig{Family: "montage", Tasks: 300, Procs: 35, PFail: 0.01, CCR: 0.1, Seed: seed}
+	a4cfg := expt.AblationConfig{Family: "montage", Tasks: 300, Procs: 35, PFail: 0.01, CCR: 0.1, Seed: seed, Workers: workers}
 	a4, err := expt.AblateCostModel(a4cfg, 1000)
 	if err != nil {
 		return err

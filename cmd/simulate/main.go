@@ -29,6 +29,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "seed")
 	bw := flag.Float64("bw", 1e8, "stable storage bandwidth, bytes/s")
 	trials := flag.Int("trials", 2000, "simulation trials")
+	workers := flag.Int("workers", 0, "trial worker goroutines (0 = all cores); results are identical for any value")
 	flag.Parse()
 
 	w, err := pegasus.Generate(*family, pegasus.Options{Tasks: *tasks, Seed: *seed})
@@ -47,9 +48,9 @@ func main() {
 		}
 		var s dist.Summary
 		if strat == ckpt.CkptNone {
-			s = sim.EstimateExpectedNone(res.Schedule, pf, *trials, *seed)
+			s = sim.EstimateExpectedNone(res.Schedule, pf, *trials, *seed, *workers)
 		} else {
-			s, err = sim.EstimateExpected(res.Plan, *trials, *seed)
+			s, err = sim.EstimateExpected(res.Plan, *trials, *seed, *workers)
 			if err != nil {
 				fatal(err)
 			}

@@ -47,7 +47,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		s, err := sim.EstimateExpected(res.Plan, trials, 7)
+		s, err := sim.EstimateExpected(res.Plan, trials, 7, 0)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,182 @@
+package repro
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/expt"
+	"repro/internal/pegasus"
+)
+
+// The golden paper-fidelity suite pins the numbers this repository
+// exists to reproduce — the §VI-B estimator-accuracy table, one
+// representative panel of each Figure 5/6/7 sweep, and the simulator
+// cross-validation — against committed expected rows at fixed seeds and
+// Workers = 1 (rows are worker-count invariant, tested elsewhere). Any
+// estimator, scheduler or simulator refactor that silently drifts a
+// number fails here immediately.
+//
+// To regenerate after an *intentional* numeric change:
+//
+//	go test -run TestGolden -update .
+//
+// and justify the diff of testdata/golden/*.json in the commit message.
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden expectations")
+
+// goldenTol is the relative tolerance on float fields. Every pipeline
+// stage is deterministic at fixed seeds, so this only needs to absorb
+// math-library drift across Go releases, not sampling noise.
+const goldenTol = 1e-9
+
+func goldenCompare[T any](t *testing.T, name string, rows []T, describe func(a, b T) string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d rows)", path, len(rows))
+		return
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	var want []T
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("%s: got %d rows, want %d", name, len(rows), len(want))
+	}
+	for i := range want {
+		if diff := describe(rows[i], want[i]); diff != "" {
+			t.Errorf("%s row %d: %s", name, i, diff)
+		}
+	}
+}
+
+// relDiffers reports a non-empty description when got and want disagree
+// beyond the golden tolerance.
+func relDiffers(field string, got, want float64) string {
+	if dist.RelErr(got, want) <= goldenTol {
+		return ""
+	}
+	return fmt.Sprintf("%s = %.12g, want %.12g; ", field, got, want)
+}
+
+// goldenSweepConfig is the representative Figure panel pinned per
+// family: size 300, the paper's second-smallest processor count, pfail
+// 0.001, a 2-points-per-decade CCR grid.
+func goldenSweepConfig(family string) expt.SweepConfig {
+	cfg := expt.FigureConfig(family)
+	cfg.PointsPerDecade = 2
+	cfg.Sizes = []int{300}
+	cfg.Procs = []int{pegasus.PaperProcessorCounts(300)[1]}
+	cfg.PFails = []float64{0.001}
+	cfg.Seed = 42
+	cfg.Workers = 1
+	return cfg
+}
+
+func describeSweepRow(got, want expt.Row) string {
+	diff := ""
+	if got.Family != want.Family || got.Tasks != want.Tasks || got.Procs != want.Procs {
+		diff += fmt.Sprintf("cell (%s,%d,%d) != (%s,%d,%d); ",
+			got.Family, got.Tasks, got.Procs, want.Family, want.Tasks, want.Procs)
+	}
+	if got.CheckpointsSome != want.CheckpointsSome || got.Superchains != want.Superchains {
+		diff += fmt.Sprintf("plan shape (%d ckpts, %d chains) != (%d, %d); ",
+			got.CheckpointsSome, got.Superchains, want.CheckpointsSome, want.Superchains)
+	}
+	diff += relDiffers("pfail", got.PFail, want.PFail)
+	diff += relDiffers("ccr", got.CCR, want.CCR)
+	diff += relDiffers("em_some", got.EMSome, want.EMSome)
+	diff += relDiffers("em_all", got.EMAll, want.EMAll)
+	diff += relDiffers("em_none", got.EMNone, want.EMNone)
+	diff += relDiffers("rel_all", got.RelAll, want.RelAll)
+	diff += relDiffers("rel_none", got.RelNone, want.RelNone)
+	diff += relDiffers("w_par", got.WPar, want.WPar)
+	return diff
+}
+
+// TestGoldenFigurePanels pins one panel of each of Figures 5 (GENOME),
+// 6 (MONTAGE) and 7 (LIGO).
+func TestGoldenFigurePanels(t *testing.T) {
+	for fig, family := range map[string]string{"fig5": "genome", "fig6": "montage", "fig7": "ligo"} {
+		rows, err := expt.RunSweep(goldenSweepConfig(family))
+		if err != nil {
+			t.Fatal(err)
+		}
+		goldenCompare(t, fig+"_"+family+".json", rows, describeSweepRow)
+	}
+}
+
+// TestGoldenAccuracyTable pins the §VI-B estimator-accuracy study on
+// two families at size 50: the Monte Carlo ground truth and all four
+// estimators' values (hence their relative errors).
+func TestGoldenAccuracyTable(t *testing.T) {
+	rows, err := expt.RunAccuracy(expt.AccuracyConfig{
+		Families: []string{"genome", "montage"}, Sizes: []int{50},
+		PFails: []float64{0.001}, TruthTrials: 50000, Seed: 42, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Elapsed is wall clock, not physics; keep the golden file stable.
+	for i := range rows {
+		rows[i].Elapsed = 0
+	}
+	goldenCompare(t, "accuracy.json", rows, func(got, want expt.AccuracyRow) string {
+		diff := ""
+		if got.Family != want.Family || got.Tasks != want.Tasks || got.Estimator != want.Estimator {
+			diff += fmt.Sprintf("cell (%s,%d,%s) != (%s,%d,%s); ",
+				got.Family, got.Tasks, got.Estimator, want.Family, want.Tasks, want.Estimator)
+		}
+		if got.Err != want.Err {
+			diff += fmt.Sprintf("err %q != %q; ", got.Err, want.Err)
+		}
+		diff += relDiffers("estimate", got.Estimate, want.Estimate)
+		diff += relDiffers("truth", got.Truth, want.Truth)
+		diff += relDiffers("truth_ci95", got.TruthCI95, want.TruthCI95)
+		diff += relDiffers("rel_error", got.RelError, want.RelError)
+		return diff
+	})
+}
+
+// TestGoldenSimCheck pins the analytic-vs-DES cross-validation rows
+// (all three strategies) for two families.
+func TestGoldenSimCheck(t *testing.T) {
+	rows, err := expt.RunSimCheck(expt.SimCheckConfig{
+		Families: []string{"genome", "ligo"}, Tasks: 50, Procs: 5,
+		PFails: []float64{0.001}, CCR: 0.01, Trials: 500, Seed: 42, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "simcheck.json", rows, func(got, want expt.SimCheckRow) string {
+		diff := ""
+		if got.Family != want.Family || got.Strategy != want.Strategy || got.Procs != want.Procs {
+			diff += fmt.Sprintf("cell (%s,%s,%d) != (%s,%s,%d); ",
+				got.Family, got.Strategy, got.Procs, want.Family, want.Strategy, want.Procs)
+		}
+		diff += relDiffers("analytic", got.Analytic, want.Analytic)
+		diff += relDiffers("sim_mean", got.SimMean, want.SimMean)
+		diff += relDiffers("sim_ci95", got.SimCI95, want.SimCI95)
+		diff += relDiffers("rel_diff", got.RelDiff, want.RelDiff)
+		diff += relDiffers("mean_failures", got.Failures, want.Failures)
+		return diff
+	})
+}

@@ -3,6 +3,10 @@ package repro
 import (
 	"bytes"
 	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/ckpt"
@@ -42,7 +46,7 @@ func TestIntegrationMatrix(t *testing.T) {
 					continue
 				}
 				// The DES agrees with the analytic estimate at this λ.
-				s, err := sim.EstimateExpected(res.Plan, 400, 11)
+				s, err := sim.EstimateExpected(res.Plan, 400, 11, 0)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -109,6 +113,75 @@ func TestIntegrationSerializationPipeline(t *testing.T) {
 	if math.Abs(third.ExpectedMakespan-base.ExpectedMakespan)/base.ExpectedMakespan > 1e-9 {
 		t.Fatalf("plan changed after DAX round trip: %g vs %g",
 			third.ExpectedMakespan, base.ExpectedMakespan)
+	}
+}
+
+// buildBinary compiles one cmd/<name> binary into dir and returns its
+// path.
+func buildBinary(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+name).CombinedOutput()
+	if err != nil {
+		t.Fatalf("building cmd/%s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// TestIntegrationBinariesWorkersFlag drives cmd/experiments and
+// cmd/schedule end-to-end as real processes with -workers 4 — the wired
+// flag path no unit test sees — and checks that the emitted artifacts
+// exist and are byte-identical to a -workers 1 run (the binaries'
+// user-facing determinism promise).
+func TestIntegrationBinariesWorkersFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs child processes")
+	}
+	dir := t.TempDir()
+
+	experiments := buildBinary(t, dir, "experiments")
+	outputs := make(map[string]string)
+	for _, workers := range []string{"1", "4"} {
+		outDir := filepath.Join(dir, "results"+workers)
+		cmd := exec.Command(experiments,
+			"-exp", "fig5", "-points", "1", "-sizes", "50", "-plots=false",
+			"-out", outDir, "-workers", workers)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("experiments -workers %s: %v\n%s", workers, err, out)
+		}
+		csv, err := os.ReadFile(filepath.Join(outDir, "fig5_genome.csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lines := strings.Count(string(csv), "\n"); lines < 2 {
+			t.Fatalf("experiments -workers %s: csv has %d lines", workers, lines)
+		}
+		// Stdout carries wall-clock timings, so only the CSV artifact is
+		// comparable across runs.
+		outputs["csv"+workers] = string(csv)
+	}
+	if outputs["csv1"] != outputs["csv4"] {
+		t.Fatal("fig5 CSV differs between -workers 1 and -workers 4")
+	}
+
+	schedule := buildBinary(t, dir, "schedule")
+	for _, workers := range []string{"1", "4"} {
+		cmd := exec.Command(schedule,
+			"-family", "montage", "-tasks", "80", "-procs", "7", "-workers", workers)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("schedule -workers %s: %v\n%s", workers, err, out)
+		}
+		for _, want := range []string{"CkptSome", "CkptAll", "CkptNone", "EM(CkptAll)/EM(CkptSome)"} {
+			if !strings.Contains(string(out), want) {
+				t.Fatalf("schedule -workers %s output missing %q:\n%s", workers, want, out)
+			}
+		}
+		outputs["sched"+workers] = string(out)
+	}
+	if outputs["sched1"] != outputs["sched4"] {
+		t.Fatal("schedule output differs between -workers 1 and -workers 4")
 	}
 }
 

@@ -1,0 +1,214 @@
+package dist
+
+// Combiner holds the reusable scratch of the sorted-merge convolution
+// behind Add/MaxWith — the inner loop of Dodin's reducer, which folds
+// thousands of pairwise combinations per estimate. The historical
+// implementation accumulated the product distribution in a
+// map[float64]float64 and sorted its keys, allocating on every bucket;
+// the Combiner instead writes all |a|·|b| (value, probability) pairs
+// into a pooled buffer — one already-sorted run per value of a, since
+// both supports are sorted — stable-merges the runs bottom-up, and
+// coalesces equal values in place. Because the pairs are generated in
+// the same (i, j) order the map version inserted them and the merge is
+// stable, probabilities for tied values are summed in the identical
+// order, making the result bit-for-bit identical to the historical
+// path.
+//
+// A Combiner is not safe for concurrent use; create one per goroutine.
+// The zero value is ready to use — the scratch grows to the largest
+// product seen and is retained across calls, so steady-state combines
+// allocate only the exact-size output distribution.
+type Combiner struct {
+	pairs pairBuf
+	tmp   pairBuf // ping-pong scratch of the bottom-up run merge
+}
+
+// pairBuf is a value-sorted buffer of (value, probability) pairs.
+type pairBuf struct {
+	vals  []float64
+	probs []float64
+}
+
+// grow resizes the scratch to exactly n pairs, reusing capacity.
+func (p *pairBuf) grow(n int) {
+	if cap(p.vals) < n {
+		p.vals = make([]float64, n)
+		p.probs = make([]float64, n)
+	}
+	p.vals = p.vals[:n]
+	p.probs = p.probs[:n]
+}
+
+// Add returns the distribution of the sum of two independent variables
+// (the convolution).
+func (c *Combiner) Add(a, b *Discrete) *Discrete {
+	return c.AddQuantized(a, b, 0)
+}
+
+// MaxWith returns the distribution of the maximum of two independent
+// variables.
+func (c *Combiner) MaxWith(a, b *Discrete) *Discrete {
+	return c.MaxQuantized(a, b, 0)
+}
+
+// AddQuantized is Add followed by QuantizeNearest(maxBins) (maxBins <= 0
+// skips the cap), fused so no intermediate distribution is built. The
+// quantization arithmetic is identical to Discrete.QuantizeNearest.
+func (c *Combiner) AddQuantized(a, b *Discrete, maxBins int) *Discrete {
+	return c.combine(a, b, maxBins, false)
+}
+
+// MaxQuantized is MaxWith followed by QuantizeNearest(maxBins), fused.
+func (c *Combiner) MaxQuantized(a, b *Discrete, maxBins int) *Discrete {
+	return c.combine(a, b, maxBins, true)
+}
+
+func (c *Combiner) combine(a, b *Discrete, maxBins int, max bool) *Discrete {
+	p := &c.pairs
+	p.grow(len(a.vals) * len(b.vals))
+	k := 0
+	for i, av := range a.vals {
+		pa := a.probs[i]
+		for j, bv := range b.vals {
+			v := av + bv
+			if max {
+				if av > bv {
+					v = av
+				} else {
+					v = bv
+				}
+			}
+			p.vals[k] = v
+			p.probs[k] = pa * b.probs[j]
+			k++
+		}
+	}
+	// |b| = 1 degenerates every run to a single pair whose values are
+	// already globally non-decreasing (a's support is sorted and both ops
+	// are monotone in it), so only genuine grids need the run merge;
+	// |a| = 1 is the one-run case mergeRuns skips on its own.
+	if len(b.vals) > 1 {
+		// mergeRuns always leaves the merged pairs in c.pairs.
+		c.mergeRuns(len(a.vals), len(b.vals))
+	}
+	m := p.coalesce(len(p.vals))
+	if maxBins > 0 && m > maxBins {
+		m = p.quantize(m, maxBins)
+	}
+	out := &Discrete{
+		vals:  make([]float64, m),
+		probs: make([]float64, m),
+	}
+	copy(out.vals, p.vals[:m])
+	copy(out.probs, p.probs[:m])
+	return out
+}
+
+// mergeRuns stable-sorts the pair buffer, which holds nRuns
+// consecutive pre-sorted runs of runLen pairs each, by merging adjacent
+// runs bottom-up into the ping-pong scratch. Ties take the
+// lower-indexed run's pair first, so the overall order is exactly what
+// a stable sort of the generation order produces.
+func (c *Combiner) mergeRuns(nRuns, runLen int) {
+	if nRuns <= 1 {
+		return
+	}
+	n := nRuns * runLen
+	c.tmp.grow(n)
+	src, dst := &c.pairs, &c.tmp
+	for width := runLen; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := lo + width
+			if mid > n {
+				mid = n
+			}
+			hi := lo + 2*width
+			if hi > n {
+				hi = n
+			}
+			mergeInto(dst, src, lo, mid, hi)
+		}
+		src, dst = dst, src
+	}
+	if src != &c.pairs {
+		c.pairs, c.tmp = c.tmp, c.pairs
+	}
+}
+
+// mergeInto merges src's sorted ranges [lo, mid) and [mid, hi) into
+// dst[lo:hi], taking from the left range on ties.
+func mergeInto(dst, src *pairBuf, lo, mid, hi int) {
+	i, j, k := lo, mid, lo
+	for i < mid && j < hi {
+		if src.vals[j] < src.vals[i] {
+			dst.vals[k] = src.vals[j]
+			dst.probs[k] = src.probs[j]
+			j++
+		} else {
+			dst.vals[k] = src.vals[i]
+			dst.probs[k] = src.probs[i]
+			i++
+		}
+		k++
+	}
+	copy(dst.vals[k:hi], src.vals[i:mid])
+	copy(dst.probs[k:hi], src.probs[i:mid])
+	k += mid - i
+	copy(dst.vals[k:hi], src.vals[j:hi])
+	copy(dst.probs[k:hi], src.probs[j:hi])
+}
+
+// coalesce merges runs of equal values among the first n sorted pairs in
+// place, summing their probabilities in ascending buffer order, and
+// returns the merged count.
+func (p *pairBuf) coalesce(n int) int {
+	m := 0
+	for i := 0; i < n; i++ {
+		if m > 0 && p.vals[m-1] == p.vals[i] {
+			p.probs[m-1] += p.probs[i]
+		} else {
+			p.vals[m] = p.vals[i]
+			p.probs[m] = p.probs[i]
+			m++
+		}
+	}
+	return m
+}
+
+// quantize snaps the first n coalesced pairs onto QuantizeNearest's
+// upward-rounding uniform grid in place and returns the resulting
+// support size. The write index never passes the read index, so reading
+// and writing the same buffer is safe.
+func (p *pairBuf) quantize(n, maxBins int) int {
+	lo, hi := p.vals[0], p.vals[n-1]
+	step := (hi - lo) / float64(maxBins)
+	if step <= 0 {
+		// All mass collapses onto the minimum — QuantizeNearest returns
+		// Point(lo) here, whose probability is exactly 1.
+		p.vals[0] = lo
+		p.probs[0] = 1
+		return 1
+	}
+	m := 0
+	for i := 0; i < n; i++ {
+		v := p.vals[i]
+		// Round up to the next grid line (bin 0 keeps the exact minimum).
+		bin := int((v - lo) / step)
+		snapped := lo + float64(bin)*step
+		if snapped < v {
+			bin++
+			snapped = lo + float64(bin)*step
+		}
+		if snapped > hi {
+			snapped = hi
+		}
+		if m > 0 && p.vals[m-1] == snapped {
+			p.probs[m-1] += p.probs[i]
+		} else {
+			p.vals[m] = snapped
+			p.probs[m] = p.probs[i]
+			m++
+		}
+	}
+	return m
+}

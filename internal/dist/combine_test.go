@@ -1,0 +1,110 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomLaw builds a Discrete from raw (value, probability) pairs drawn
+// on a coarse grid, so the canonicalized support has up to maxSupport
+// points and the inputs exercise ties (duplicate raw values) and
+// zero-probability atoms (dropped by New).
+func randomLaw(rng *rand.Rand, maxSupport int) *Discrete {
+	n := 1 + rng.Intn(maxSupport)
+	vals := make([]float64, 0, n+2)
+	probs := make([]float64, 0, n+2)
+	for i := 0; i < n; i++ {
+		// A grid of quarter-integers makes collisions (both within one
+		// law and between combined values) common.
+		vals = append(vals, float64(rng.Intn(4*maxSupport))/4)
+		probs = append(probs, rng.Float64())
+	}
+	// Zero- and duplicate-mass atoms: New must drop/merge them.
+	vals = append(vals, vals[0], float64(rng.Intn(4*maxSupport))/4)
+	probs = append(probs, rng.Float64(), 0)
+	return New(vals, probs)
+}
+
+// requireIdentical fails unless the two distributions are bit-for-bit
+// equal — the Combiner's contract against the historical map combine.
+func requireIdentical(t *testing.T, tag string, got, want *Discrete) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: support size %d != %d", tag, got.Len(), want.Len())
+	}
+	for i := range want.vals {
+		if got.vals[i] != want.vals[i] || got.probs[i] != want.probs[i] {
+			t.Fatalf("%s: atom %d: got (%v, %v), want (%v, %v)",
+				tag, i, got.vals[i], got.probs[i], want.vals[i], want.probs[i])
+		}
+	}
+}
+
+// TestCombinerMatchesMapCombine is the property-based equivalence test:
+// on randomized discrete laws (support sizes 1–64, ties, zero-mass
+// atoms), the sorted-merge Add/MaxWith must reproduce the historical
+// map-accumulator combine exactly, including the float summation order
+// of tied values.
+func TestCombinerMatchesMapCombine(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	add := func(a, b float64) float64 { return a + b }
+	max := func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	var comb Combiner // shared across trials: the pool must not leak state
+	for trial := 0; trial < 300; trial++ {
+		a := randomLaw(rng, 64)
+		b := randomLaw(rng, 64)
+		requireIdentical(t, "add", comb.Add(a, b), a.combineMap(b, add))
+		requireIdentical(t, "max", comb.MaxWith(a, b), a.combineMap(b, max))
+	}
+}
+
+// TestCombinerQuantizedMatchesTwoStep pins the fused quantization: for
+// random maxBins, AddQuantized/MaxQuantized must equal the historical
+// combine followed by QuantizeNearest, bit for bit.
+func TestCombinerQuantizedMatchesTwoStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	add := func(a, b float64) float64 { return a + b }
+	max := func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	var comb Combiner
+	for trial := 0; trial < 300; trial++ {
+		a := randomLaw(rng, 48)
+		b := randomLaw(rng, 48)
+		bins := 1 + rng.Intn(96)
+		requireIdentical(t, "addq",
+			comb.AddQuantized(a, b, bins),
+			a.combineMap(b, add).QuantizeNearest(bins))
+		requireIdentical(t, "maxq",
+			comb.MaxQuantized(a, b, bins),
+			a.combineMap(b, max).QuantizeNearest(bins))
+	}
+}
+
+// TestCombinerDegenerateSupports covers the merge-skip fast paths
+// (|a| = 1, |b| = 1, both) against the reference implementation.
+func TestCombinerDegenerateSupports(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	add := func(a, b float64) float64 { return a + b }
+	var comb Combiner
+	wide := randomLaw(rng, 32)
+	point := Point(2.5)
+	for _, c := range []struct {
+		name string
+		a, b *Discrete
+	}{
+		{"point+wide", point, wide},
+		{"wide+point", wide, point},
+		{"point+point", point, Point(1.25)},
+	} {
+		requireIdentical(t, c.name, comb.Add(c.a, c.b), c.a.combineMap(c.b, add))
+	}
+}

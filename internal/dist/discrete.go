@@ -160,23 +160,25 @@ func (d *Discrete) Sample(u float64) float64 {
 }
 
 // Add returns the distribution of the sum of two independent variables
-// (the convolution), used by Dodin's serial reduction.
+// (the convolution), used by Dodin's serial reduction. Loops combining
+// many distributions should hold a Combiner to reuse its scratch.
 func (d *Discrete) Add(o *Discrete) *Discrete {
-	return d.combine(o, func(a, b float64) float64 { return a + b })
+	var c Combiner
+	return c.Add(d, o)
 }
 
 // MaxWith returns the distribution of the maximum of two independent
 // variables (product of CDFs), used by Dodin's parallel reduction.
 func (d *Discrete) MaxWith(o *Discrete) *Discrete {
-	return d.combine(o, func(a, b float64) float64 {
-		if a > b {
-			return a
-		}
-		return b
-	})
+	var c Combiner
+	return c.MaxWith(d, o)
 }
 
-func (d *Discrete) combine(o *Discrete, f func(a, b float64) float64) *Discrete {
+// combineMap is the historical map-accumulator combine, superseded by
+// the Combiner's sorted-merge path. It is retained as the independent
+// reference implementation the property-based equivalence tests compare
+// against; the two must stay bit-identical.
+func (d *Discrete) combineMap(o *Discrete, f func(a, b float64) float64) *Discrete {
 	acc := make(map[float64]float64, len(d.vals)*len(o.vals))
 	for i, a := range d.vals {
 		for j, b := range o.vals {

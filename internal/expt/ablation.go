@@ -34,6 +34,10 @@ type AblationConfig struct {
 	CCR       float64
 	Seed      int64
 	Bandwidth float64
+	// Workers sizes the simulator's chunked-trial pool in the ablations
+	// that cross-validate by DES (A4); 0 means GOMAXPROCS. Rows are
+	// worker-count invariant.
+	Workers int
 }
 
 func (c AblationConfig) withDefaults() AblationConfig {

@@ -133,8 +133,8 @@ func RunAccuracy(cfg AccuracyConfig) ([]AccuracyRow, error) {
 }
 
 // evalAll runs the four estimators on one segment DAG, writing one row
-// per method into out (len accuracyMethods). Normal and PathApprox share
-// one reusable Evaluator.
+// per method into out (len accuracyMethods). Dodin, Normal and
+// PathApprox share one reusable Evaluator (and its convolution pool).
 func evalAll(g *probdag.Graph, base AccuracyRow, cfg AccuracyConfig, out []AccuracyRow) error {
 	ev, err := probdag.NewEvaluator(g)
 	if err != nil {
@@ -148,7 +148,7 @@ func evalAll(g *probdag.Graph, base AccuracyRow, cfg AccuracyConfig, out []Accur
 		{"MonteCarlo(10k)", func() (float64, error) {
 			return probdag.MonteCarloSeeded(g, 10000, cfg.Seed+1, 1).Mean, nil
 		}},
-		{"Dodin", func() (float64, error) { return probdag.Dodin(g, probdag.DodinOptions{}) }},
+		{"Dodin", func() (float64, error) { return ev.Dodin(probdag.DodinOptions{}) }},
 		{"Normal", func() (float64, error) { return ev.Normal(), nil }},
 		{"PathApprox", func() (float64, error) { return ev.PathApprox(), nil }},
 	}

@@ -63,7 +63,7 @@ func AblateCostModel(cfg AblationConfig, trials int) ([]CostModelRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		sum, err := sim.EstimateExpected(plan, trials, cfg.Seed)
+		sum, err := sim.EstimateExpected(plan, trials, cfg.Seed, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}

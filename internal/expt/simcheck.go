@@ -36,7 +36,11 @@ type SimCheckConfig struct {
 	Trials    int
 	Seed      int64
 	Bandwidth float64
-	// Workers sizes the grid worker pool; 0 means GOMAXPROCS.
+	// Workers sizes the grid worker pool; 0 means GOMAXPROCS. A
+	// single-cell grid hands the pool to the simulator's chunked trials
+	// instead; multi-cell grids keep each cell's trials serial so the
+	// pools don't multiply. The rows are worker-count invariant either
+	// way.
 	Workers int
 }
 
@@ -91,6 +95,13 @@ func RunSimCheck(cfg SimCheckConfig) ([]SimCheckRow, error) {
 	}
 	nstrat := len(simCheckStrategies)
 	rows := make([]SimCheckRow, len(cells)*nstrat)
+	// Cell-level and trial-level parallelism must not multiply: grids
+	// with one cell give the worker pool to the simulator's chunked
+	// trials, everything larger parallelizes over cells only.
+	simWorkers := 1
+	if len(cells) == 1 {
+		simWorkers = cfg.Workers
+	}
 	err := Engine{Workers: cfg.Workers}.ForEach(len(cells), func(i int) error {
 		c := cells[i]
 		w, err := pegasus.CachedGenerate(c.family, pegasus.Options{Tasks: cfg.Tasks, Seed: cfg.Seed})
@@ -107,9 +118,9 @@ func RunSimCheck(cfg SimCheckConfig) ([]SimCheckRow, error) {
 			var s dist.Summary
 			var fails float64
 			if strat == ckpt.CkptNone {
-				s, fails = sim.EstimateExpectedNoneDetail(res.Schedule, pf, cfg.Trials, cfg.Seed)
+				s, fails = sim.EstimateExpectedNoneDetail(res.Schedule, pf, cfg.Trials, cfg.Seed, simWorkers)
 			} else {
-				s, fails, err = sim.EstimateExpectedDetail(res.Plan, cfg.Trials, cfg.Seed)
+				s, fails, err = sim.EstimateExpectedDetail(res.Plan, cfg.Trials, cfg.Seed, simWorkers)
 				if err != nil {
 					return err
 				}

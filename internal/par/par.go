@@ -18,6 +18,17 @@ import (
 // returned (what a serial loop stopping at the first error reports) and
 // remaining items may be skipped.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachWith(workers, n,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) error { return fn(i) })
+}
+
+// ForEachWith is ForEach with per-goroutine scratch: setup runs once on
+// every worker goroutine (once total in the serial case) and its result
+// is handed to each fn call that goroutine executes. It is the shape the
+// trial-chunked simulator and Monte Carlo use — one reusable scratch
+// state per goroutine, work items fanned by ascending index.
+func ForEachWith[S any](workers, n int, setup func() S, fn func(s S, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -28,8 +39,9 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		workers = n
 	}
 	if workers == 1 {
+		s := setup()
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(s, i); err != nil {
 				return err
 			}
 		}
@@ -43,12 +55,13 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			s := setup()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := fn(s, i); err != nil {
 					errs[i] = err
 					failed.Store(true)
 				}
@@ -62,4 +75,36 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// Chunk is the trial count of one chunked-sampling work unit (Monte
+// Carlo, simulator trials). The chunking — and therefore every drawn
+// sample — depends only on the trial count and seed, never on the worker
+// count, which is what makes parallel estimates bit-identical to serial.
+const Chunk = 4096
+
+// Chunks returns how many Chunk-sized work units cover n trials.
+func Chunks(n int) int { return (n + Chunk - 1) / Chunk }
+
+// ChunkBounds returns the [lo, hi) trial range of chunk c out of n.
+func ChunkBounds(c, n int) (lo, hi int) {
+	lo = c * Chunk
+	hi = lo + Chunk
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// SubSeed derives chunk c's generator seed from the caller's seed with a
+// splitmix64 finalizer, decorrelating the per-chunk streams of
+// math/rand's LCG-seeded sources.
+func SubSeed(seed int64, chunk int) int64 {
+	x := uint64(seed) + (uint64(chunk)+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x)
 }

@@ -2,6 +2,7 @@ package probdag
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/dist"
@@ -45,6 +46,11 @@ func (o DodinOptions) withDefaults() DodinOptions {
 //
 // Intermediate supports are quantized to MaxBins points. Dodin returns
 // an error if the step budget is exhausted.
+//
+// Every reduction step folds two supports through a dist.Combiner — the
+// pooled sorted-merge convolution — so one scratch buffer serves the
+// whole reduction; repeated estimates should go through Evaluator.Dodin,
+// which keeps that pool alive across calls.
 func Dodin(g *Graph, opts DodinOptions) (float64, error) {
 	d, err := DodinDistribution(g, opts)
 	if err != nil {
@@ -55,11 +61,17 @@ func Dodin(g *Graph, opts DodinOptions) (float64, error) {
 
 // DodinDistribution returns the full approximated makespan distribution.
 func DodinDistribution(g *Graph, opts DodinOptions) (*dist.Discrete, error) {
+	var comb dist.Combiner
+	return dodinDistribution(g, opts, &comb)
+}
+
+// dodinDistribution runs the reduction with the caller's combine scratch.
+func dodinDistribution(g *Graph, opts DodinOptions, comb *dist.Combiner) (*dist.Discrete, error) {
 	opts = opts.withDefaults()
 	if g.Len() == 0 {
 		return dist.Point(0), nil
 	}
-	r := newReducer(g, opts)
+	r := newReducer(g, opts, comb)
 	for r.aliveCount > 1 {
 		if r.steps > opts.Budget {
 			return nil, fmt.Errorf("probdag: dodin budget exhausted (%d steps, %d nodes alive)", r.steps, r.aliveCount)
@@ -74,46 +86,56 @@ func DodinDistribution(g *Graph, opts DodinOptions) (*dist.Discrete, error) {
 			return nil, fmt.Errorf("probdag: dodin stuck with %d nodes and no reduction", r.aliveCount)
 		}
 	}
-	for id, n := range r.nodes {
-		if n.alive {
-			return r.nodes[id].d, nil
+	for i := range r.nodes {
+		if r.nodes[i].alive {
+			return r.nodes[i].d, nil
 		}
 	}
 	return nil, fmt.Errorf("probdag: dodin lost all nodes")
 }
 
+// rnode keeps its adjacency as sorted, deduplicated id slices. The
+// historical reducer used map[int]bool sets and grouped parallelPass
+// candidates under allocated string keys, which dominated Dodin's
+// allocation profile; sorted slices make membership updates copy-free
+// and grouping a sort-and-scan.
 type rnode struct {
 	d     *dist.Discrete
-	succ  map[int]bool
-	pred  map[int]bool
+	succ  []int // sorted
+	pred  []int // sorted
 	alive bool
 }
 
 type reducer struct {
-	nodes      []*rnode
+	nodes      []rnode
 	aliveCount int
 	steps      int
 	opts       DodinOptions
+	comb       *dist.Combiner
+	cand       []int    // parallelPass candidate scratch
+	runs       [][2]int // parallelPass group-boundary scratch
+	hash       []uint64 // parallelPass per-node set-hash scratch
 }
 
-func newReducer(g *Graph, opts DodinOptions) *reducer {
-	r := &reducer{opts: opts}
-	for i := 0; i < g.Len(); i++ {
-		n := &rnode{d: g.dists[i], succ: map[int]bool{}, pred: map[int]bool{}, alive: true}
-		r.nodes = append(r.nodes, n)
-	}
-	for u := 0; u < g.Len(); u++ {
-		for _, v := range g.succ[u] {
-			r.nodes[u].succ[int(v)] = true
-			r.nodes[int(v)].pred[u] = true
+func newReducer(g *Graph, opts DodinOptions, comb *dist.Combiner) *reducer {
+	n := g.Len()
+	r := &reducer{opts: opts, comb: comb, nodes: make([]rnode, n), aliveCount: n}
+	for i := 0; i < n; i++ {
+		nd := &r.nodes[i]
+		nd.d = g.dists[i]
+		nd.alive = true
+		nd.succ = make([]int, len(g.succ[i]))
+		for k, v := range g.succ[i] {
+			nd.succ[k] = int(v)
 		}
+		sort.Ints(nd.succ)
+		nd.pred = make([]int, len(g.pred[i]))
+		for k, u := range g.pred[i] {
+			nd.pred[k] = int(u)
+		}
+		sort.Ints(nd.pred)
 	}
-	r.aliveCount = g.Len()
 	return r
-}
-
-func (r *reducer) quantize(d *dist.Discrete) *dist.Discrete {
-	return d.QuantizeNearest(r.opts.MaxBins)
 }
 
 // serialPass merges every chain link it can find; returns true if any
@@ -121,24 +143,23 @@ func (r *reducer) quantize(d *dist.Discrete) *dist.Discrete {
 func (r *reducer) serialPass() bool {
 	merged := false
 	for v := 0; v < len(r.nodes); v++ {
-		nv := r.nodes[v]
+		nv := &r.nodes[v]
 		if !nv.alive || len(nv.pred) != 1 {
 			continue
 		}
-		u := anyKey(nv.pred)
-		nu := r.nodes[u]
+		u := nv.pred[0]
+		nu := &r.nodes[u]
 		if len(nu.succ) != 1 {
 			continue
 		}
 		// Merge v into u: u's duration becomes u+v, u inherits v's succs.
 		r.steps++
-		nu.d = r.quantize(nu.d.Add(nv.d))
-		delete(nu.succ, v)
-		for s := range nv.succ {
-			nu.succ[s] = true
-			ns := r.nodes[s]
-			delete(ns.pred, v)
-			ns.pred[u] = true
+		nu.d = r.comb.AddQuantized(nu.d, nv.d, r.opts.MaxBins)
+		nu.succ = append(nu.succ[:0], nv.succ...)
+		for _, s := range nv.succ {
+			ns := &r.nodes[s]
+			ns.pred = removeSorted(ns.pred, v)
+			ns.pred = insertSorted(ns.pred, u)
 		}
 		nv.alive = false
 		nv.succ, nv.pred = nil, nil
@@ -149,40 +170,98 @@ func (r *reducer) serialPass() bool {
 }
 
 // parallelPass merges nodes with identical predecessor and successor
-// sets; returns true if any merge happened.
+// sets; returns true if any merge happened. Candidates are sorted so
+// equal-set nodes become adjacent (ids ascending within a group), the
+// group boundaries are snapshotted before any merge — the grouping must
+// reflect the pre-pass graph, exactly like the historical key-map — and
+// then each group collapses onto its smallest id. A per-node hash of
+// both sets fronts the sort comparisons, so full slice compares only
+// happen between probable group members.
 func (r *reducer) parallelPass() bool {
-	groups := make(map[string][]int)
-	for v, nv := range r.nodes {
-		if !nv.alive {
-			continue
+	cand := r.cand[:0]
+	for v := range r.nodes {
+		if r.nodes[v].alive {
+			cand = append(cand, v)
 		}
-		key := setKey(nv.pred) + "|" + setKey(nv.succ)
-		groups[key] = append(groups[key], v)
 	}
-	merged := false
-	for _, g := range groups {
-		if len(g) < 2 {
-			continue
-		}
-		sort.Ints(g)
-		keep := r.nodes[g[0]]
-		for _, v := range g[1:] {
-			r.steps++
-			nv := r.nodes[v]
-			keep.d = r.quantize(keep.d.MaxWith(nv.d))
-			for p := range nv.pred {
-				delete(r.nodes[p].succ, v)
+	if cap(r.hash) < len(r.nodes) {
+		r.hash = make([]uint64, len(r.nodes))
+	}
+	hash := r.hash[:len(r.nodes)]
+	for _, v := range cand {
+		hash[v] = r.setHash(v)
+	}
+	slices.SortFunc(cand, func(a, b int) int {
+		if hash[a] != hash[b] {
+			if hash[a] < hash[b] {
+				return -1
 			}
-			for s := range nv.succ {
-				delete(r.nodes[s].pred, v)
+			return 1
+		}
+		na, nb := &r.nodes[a], &r.nodes[b]
+		if c := slices.Compare(na.pred, nb.pred); c != 0 {
+			return c
+		}
+		if c := slices.Compare(na.succ, nb.succ); c != 0 {
+			return c
+		}
+		return a - b
+	})
+	r.cand = cand
+	runs := r.runs[:0]
+	for i := 0; i < len(cand); {
+		j := i + 1
+		for j < len(cand) && r.equalSets(cand[i], cand[j]) {
+			j++
+		}
+		if j-i >= 2 {
+			runs = append(runs, [2]int{i, j})
+		}
+		i = j
+	}
+	r.runs = runs
+	for _, run := range runs {
+		keep := &r.nodes[cand[run[0]]]
+		for _, v := range cand[run[0]+1 : run[1]] {
+			r.steps++
+			nv := &r.nodes[v]
+			keep.d = r.comb.MaxQuantized(keep.d, nv.d, r.opts.MaxBins)
+			for _, p := range nv.pred {
+				r.nodes[p].succ = removeSorted(r.nodes[p].succ, v)
+			}
+			for _, s := range nv.succ {
+				r.nodes[s].pred = removeSorted(r.nodes[s].pred, v)
 			}
 			nv.alive = false
 			nv.succ, nv.pred = nil, nil
 			r.aliveCount--
 		}
-		merged = true
 	}
-	return merged
+	return len(runs) > 0
+}
+
+// equalSets reports whether nodes a and b share identical predecessor
+// and successor sets.
+func (r *reducer) equalSets(a, b int) bool {
+	na, nb := &r.nodes[a], &r.nodes[b]
+	return slices.Equal(na.pred, nb.pred) && slices.Equal(na.succ, nb.succ)
+}
+
+// setHash folds node v's predecessor and successor sets into an FNV-1a
+// style fingerprint; equal sets always hash equal, so the hash can front
+// the grouping sort's comparisons.
+func (r *reducer) setHash(v int) uint64 {
+	const prime = 1099511628211
+	n := &r.nodes[v]
+	h := uint64(14695981039346656037)
+	for _, p := range n.pred {
+		h = (h ^ uint64(p+1)) * prime
+	}
+	h = (h ^ ^uint64(0)) * prime // pred/succ separator
+	for _, s := range n.succ {
+		h = (h ^ uint64(s+1)) * prime
+	}
+	return h
 }
 
 // duplicate picks the node with in-degree >= 2 minimizing
@@ -190,7 +269,8 @@ func (r *reducer) parallelPass() bool {
 // predecessor. Returns false if no candidate exists.
 func (r *reducer) duplicate() bool {
 	best, bestCost := -1, 0
-	for v, nv := range r.nodes {
+	for v := range r.nodes {
+		nv := &r.nodes[v]
 		if !nv.alive || len(nv.pred) < 2 {
 			continue
 		}
@@ -206,52 +286,58 @@ func (r *reducer) duplicate() bool {
 	if best == -1 {
 		return false
 	}
-	nv := r.nodes[best]
-	preds := keys(nv.pred)
-	succs := keys(nv.succ)
-	for s := range nv.succ {
-		delete(r.nodes[s].pred, best)
+	// Snapshot the split node before appending invalidates pointers into
+	// r.nodes; its own slices are only released at the end.
+	d := r.nodes[best].d
+	preds := r.nodes[best].pred
+	succs := r.nodes[best].succ
+	for _, s := range succs {
+		r.nodes[s].pred = removeSorted(r.nodes[s].pred, best)
 	}
 	for _, u := range preds {
 		r.steps++
-		delete(r.nodes[u].succ, best)
+		r.nodes[u].succ = removeSorted(r.nodes[u].succ, best)
+		// New ids exceed every existing one, so plain appends keep all
+		// adjacency slices sorted.
 		id := len(r.nodes)
-		copyNode := &rnode{d: nv.d, succ: map[int]bool{}, pred: map[int]bool{u: true}, alive: true}
-		r.nodes = append(r.nodes, copyNode)
-		r.nodes[u].succ[id] = true
+		r.nodes = append(r.nodes, rnode{
+			d:     d,
+			pred:  []int{u},
+			succ:  append([]int(nil), succs...),
+			alive: true,
+		})
+		r.nodes[u].succ = append(r.nodes[u].succ, id)
 		for _, s := range succs {
-			copyNode.succ[s] = true
-			r.nodes[s].pred[id] = true
+			r.nodes[s].pred = append(r.nodes[s].pred, id)
 		}
 		r.aliveCount++
 	}
-	nv.alive = false
-	nv.succ, nv.pred = nil, nil
+	nb := &r.nodes[best]
+	nb.alive = false
+	nb.succ, nb.pred = nil, nil
 	r.aliveCount--
 	return true
 }
 
-func anyKey(m map[int]bool) int {
-	for k := range m {
-		return k
+// removeSorted deletes x from the sorted set s in place (no-op when
+// absent).
+func removeSorted(s []int, x int) []int {
+	i := sort.SearchInts(s, x)
+	if i < len(s) && s[i] == x {
+		return append(s[:i], s[i+1:]...)
 	}
-	return -1
+	return s
 }
 
-func keys(m map[int]bool) []int {
-	out := make([]int, 0, len(m))
-	for k := range m {
-		out = append(out, k)
+// insertSorted adds x to the sorted set s, keeping it sorted (no-op when
+// present).
+func insertSorted(s []int, x int) []int {
+	i := sort.SearchInts(s, x)
+	if i < len(s) && s[i] == x {
+		return s
 	}
-	sort.Ints(out)
-	return out
-}
-
-func setKey(m map[int]bool) string {
-	ks := keys(m)
-	b := make([]byte, 0, len(ks)*4)
-	for _, k := range ks {
-		b = append(b, byte(k), byte(k>>8), byte(k>>16), byte(k>>24))
-	}
-	return string(b)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	return s
 }

@@ -3,6 +3,7 @@ package probdag
 import (
 	"math"
 	"math/rand"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -231,6 +232,35 @@ func TestDodinRandomAgainstExact(t *testing.T) {
 		}
 		if dist.RelErr(got, exact) > 0.15 {
 			t.Fatalf("trial %d: Dodin %g vs exact %g", trial, got, exact)
+		}
+	}
+}
+
+// TestDodinDeterministic pins the reducer's determinism after the
+// sorted-slice rewrite: repeated reductions of one graph — one-shot,
+// through a fresh Evaluator, and through a reused Evaluator whose
+// convolution pool has already served other graphs — must return the
+// bit-identical distribution.
+func TestDodinDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 8; trial++ {
+		g := randomProbDAG(rng, 12, 0.4)
+		want, err := DodinDistribution(g, DodinOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := NewEvaluator(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			got, err := ev.DodinDistribution(DodinOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !slices.Equal(got.Support(), want.Support()) || !slices.Equal(got.Probs(), want.Probs()) {
+				t.Fatalf("trial %d rep %d: evaluator Dodin diverged from one-shot", trial, rep)
+			}
 		}
 	}
 }

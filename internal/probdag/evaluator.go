@@ -32,6 +32,8 @@ type Evaluator struct {
 	samples []float64
 
 	normals []dist.Normal
+
+	comb dist.Combiner // pooled convolution scratch for Dodin
 }
 
 // deviation is one (node, non-base value) pair of the PathApprox sweep:
@@ -226,6 +228,25 @@ func (e *Evaluator) NormalMoments() (mean, sigma float64) {
 func (e *Evaluator) Normal() float64 {
 	m, _ := e.NormalMoments()
 	return m
+}
+
+// Dodin runs Dodin's series-parallel reduction with the Evaluator's
+// pooled convolution scratch: every Add/Max step of every call reuses
+// one pair buffer, so repeated estimates of segment DAGs stop paying the
+// per-step allocations the one-shot path does. Results are bit-identical
+// to the package-level Dodin.
+func (e *Evaluator) Dodin(opts DodinOptions) (float64, error) {
+	d, err := e.DodinDistribution(opts)
+	if err != nil {
+		return 0, err
+	}
+	return d.Mean(), nil
+}
+
+// DodinDistribution is Dodin returning the full approximated makespan
+// distribution.
+func (e *Evaluator) DodinDistribution(opts DodinOptions) (*dist.Discrete, error) {
+	return dodinDistribution(e.g, opts, &e.comb)
 }
 
 // MonteCarlo estimates the expected makespan by sampling trials

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/dist"
+	"repro/internal/par"
 )
 
 func TestEvaluatorMatchesOneShotEstimators(t *testing.T) {
@@ -67,12 +68,12 @@ func TestMonteCarloSeededWorkerInvariance(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	g := randomProbDAG(rng, 12, 0.3)
 	// Trials chosen to exercise several chunks plus a ragged final one.
-	for _, trials := range []int{100, mcChunk, 3*mcChunk + 17} {
+	for _, trials := range []int{100, par.Chunk, 3*par.Chunk + 17} {
 		serial := MonteCarloSeeded(g, trials, 7, 1)
 		for _, workers := range []int{2, 4, 9} {
-			par := MonteCarloSeeded(g, trials, 7, workers)
-			if par != serial {
-				t.Fatalf("trials=%d workers=%d: %+v != serial %+v", trials, workers, par, serial)
+			fanned := MonteCarloSeeded(g, trials, 7, workers)
+			if fanned != serial {
+				t.Fatalf("trials=%d workers=%d: %+v != serial %+v", trials, workers, fanned, serial)
 			}
 		}
 	}

@@ -2,11 +2,9 @@ package probdag
 
 import (
 	"math/rand"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/dist"
+	"repro/internal/par"
 )
 
 // MonteCarlo estimates the expected makespan by sampling: each trial
@@ -21,78 +19,28 @@ func MonteCarlo(g *Graph, trials int, rng *rand.Rand) dist.Summary {
 	return mustEvaluator(g).MonteCarlo(trials, rng)
 }
 
-// mcChunk is the trial count of one MonteCarloSeeded work unit. The
-// chunking — and therefore every drawn sample — depends only on the
-// trial count and seed, never on the worker count.
-const mcChunk = 4096
-
 // MonteCarloSeeded estimates the expected makespan from trials samples
-// split into fixed-size chunks, each drawn from its own deterministic
-// sub-seeded generator and written into its own slice of the sample
-// buffer. Chunks are executed by up to workers goroutines (0 means
-// GOMAXPROCS), and because neither the chunk boundaries nor the
-// sub-seeds depend on scheduling, the returned Summary is bit-identical
-// for every worker count — the serial path is simply workers = 1.
+// split into fixed-size chunks (par.Chunk trials each), each drawn from
+// its own deterministic sub-seeded generator and written into its own
+// slice of the sample buffer. Chunks are executed by up to workers
+// goroutines (0 means GOMAXPROCS) with one Evaluator of scratch per
+// goroutine, and because neither the chunk boundaries nor the sub-seeds
+// depend on scheduling, the returned Summary is bit-identical for every
+// worker count — the serial path is simply workers = 1.
 func MonteCarloSeeded(g *Graph, trials int, seed int64, workers int) dist.Summary {
 	if trials <= 0 {
 		return dist.Summary{}
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	chunks := (trials + mcChunk - 1) / mcChunk
-	if workers > chunks {
-		workers = chunks
-	}
 	samples := make([]float64, trials)
-	if workers == 1 {
-		ev := mustEvaluator(g)
-		for c := 0; c < chunks; c++ {
-			mcChunkFill(ev, samples, c, trials, seed)
-		}
-		return dist.Summarize(samples)
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			ev := mustEvaluator(g) // per-goroutine scratch; the graph is shared read-only
-			for {
-				c := int(next.Add(1)) - 1
-				if c >= chunks {
-					return
-				}
-				mcChunkFill(ev, samples, c, trials, seed)
-			}
-		}()
-	}
-	wg.Wait()
+	// The graph is shared read-only; each goroutine gets its own scratch.
+	par.ForEachWith(workers, par.Chunks(trials),
+		func() *Evaluator { return mustEvaluator(g) },
+		func(ev *Evaluator, c int) error {
+			lo, hi := par.ChunkBounds(c, trials)
+			ev.mcFill(samples[lo:hi], rand.New(rand.NewSource(par.SubSeed(seed, c))))
+			return nil
+		})
 	return dist.Summarize(samples)
-}
-
-// mcChunkFill draws chunk c's samples into its slot of the buffer.
-func mcChunkFill(ev *Evaluator, samples []float64, c, trials int, seed int64) {
-	lo := c * mcChunk
-	hi := lo + mcChunk
-	if hi > trials {
-		hi = trials
-	}
-	rng := rand.New(rand.NewSource(subSeed(seed, c)))
-	ev.mcFill(samples[lo:hi], rng)
-}
-
-// subSeed derives chunk c's generator seed with a splitmix64 finalizer,
-// decorrelating the per-chunk streams of math/rand's LCG-seeded source.
-func subSeed(seed int64, chunk int) int64 {
-	x := uint64(seed) + (uint64(chunk)+1)*0x9E3779B97F4A7C15
-	x ^= x >> 30
-	x *= 0xBF58476D1CE4E5B9
-	x ^= x >> 27
-	x *= 0x94D049BB133111EB
-	x ^= x >> 31
-	return int64(x)
 }
 
 // ExpectedMakespanMC is a convenience wrapper returning only the mean.

@@ -33,12 +33,26 @@ type PoissonFailures struct {
 // NewPoissonFailures returns a failure source for procs processors with
 // rate lambda, drawing from rng.
 func NewPoissonFailures(procs int, lambda float64, rng *rand.Rand) *PoissonFailures {
-	p := &PoissonFailures{lambda: lambda, rng: rng, next: make([]float64, procs)}
-	e := dist.Exponential{Lambda: lambda}
+	p := newPoissonScratch(procs, lambda)
+	p.Reset(rng)
+	return p
+}
+
+// newPoissonScratch allocates the per-processor state without drawing;
+// the source is unusable until Reset seeds it with a generator.
+func newPoissonScratch(procs int, lambda float64) *PoissonFailures {
+	return &PoissonFailures{lambda: lambda, next: make([]float64, procs)}
+}
+
+// Reset rebinds the source to rng and redraws every processor's first
+// failure instant in place, making one allocation of per-processor state
+// serve any number of simulated trials.
+func (p *PoissonFailures) Reset(rng *rand.Rand) {
+	p.rng = rng
+	e := dist.Exponential{Lambda: p.lambda}
 	for i := range p.next {
 		p.next[i] = e.Draw(rng)
 	}
-	return p
 }
 
 // NextAfter implements FailureSource.

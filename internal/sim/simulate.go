@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ckpt"
 	"repro/internal/dist"
+	"repro/internal/par"
 	"repro/internal/platform"
 	"repro/internal/sched"
 )
@@ -19,16 +20,29 @@ type Result struct {
 	Failures int
 }
 
-// RunPlan simulates one execution of a segmented plan (CkptAll,
-// CkptSome, ExitOnly, Periodic) under the given failure source. A
-// segment occupies its processor for R+W+C seconds; a failure during an
-// attempt discards it entirely (in-memory data is lost) and the segment
-// restarts — reading R again from stable storage — as soon as the
-// processor is back (instant reboot, per the paper's model). Checkpoints
-// make completed segments immune to later failures.
-func RunPlan(p *ckpt.Plan, fs FailureSource) (Result, error) {
+// Runner simulates repeated executions of one segmented plan, reusing
+// every piece of per-trial state: the precedence and per-processor
+// segment tables are built once at construction, and the finish/done/
+// clock/cursor buffers plus the Poisson failure source are reset in
+// place on every Run. A Runner is not safe for concurrent use; the
+// chunked estimators create one per goroutine (the plan itself is shared
+// read-only).
+type Runner struct {
+	p        *ckpt.Plan
+	preds    [][]int // segment -> predecessor segments
+	procSegs [][]int // processor -> ordered segment indices
+	finish   []float64
+	done     []bool
+	clock    []float64
+	cursor   []int
+	fs       *PoissonFailures
+}
+
+// NewRunner prepares a Runner for the plan. CkptNone plans have no
+// segments to execute; use the EstimateExpectedNone path instead.
+func NewRunner(p *ckpt.Plan) (*Runner, error) {
 	if p.Strategy == ckpt.CkptNone {
-		return Result{}, fmt.Errorf("sim: use RunNone for the CkptNone strategy")
+		return nil, fmt.Errorf("sim: use RunNone for the CkptNone strategy")
 	}
 	nseg := len(p.Segments)
 	preds := make([][]int, nseg)
@@ -47,21 +61,53 @@ func RunPlan(p *ckpt.Plan, fs FailureSource) (Result, error) {
 			procSegs[proc] = append(procSegs[proc], segsByChain[ci]...)
 		}
 	}
+	return &Runner{
+		p:        p,
+		preds:    preds,
+		procSegs: procSegs,
+		finish:   make([]float64, nseg),
+		done:     make([]bool, nseg),
+		clock:    make([]float64, p.Platform.Processors),
+		cursor:   make([]int, p.Platform.Processors),
+		fs:       newPoissonScratch(p.Platform.Processors, p.Platform.Lambda),
+	}, nil
+}
 
-	finish := make([]float64, nseg)
-	done := make([]bool, nseg)
-	clock := make([]float64, p.Platform.Processors)
-	cursor := make([]int, p.Platform.Processors)
+// Run simulates one execution with fresh Poisson failures drawn from
+// rng. It performs no allocation.
+func (r *Runner) Run(rng *rand.Rand) (Result, error) {
+	r.fs.Reset(rng)
+	return r.RunWith(r.fs)
+}
+
+// RunWith simulates one execution against an arbitrary failure source
+// (scripted traces, no failures). A segment occupies its processor for
+// R+W+C seconds; a failure during an attempt discards it entirely
+// (in-memory data is lost) and the segment restarts — reading R again
+// from stable storage — as soon as the processor is back (instant
+// reboot, per the paper's model). Checkpoints make completed segments
+// immune to later failures.
+func (r *Runner) RunWith(fs FailureSource) (Result, error) {
+	p := r.p
+	finish, done, clock, cursor := r.finish, r.done, r.clock, r.cursor
+	for i := range finish {
+		finish[i] = 0
+		done[i] = false
+	}
+	for i := range clock {
+		clock[i] = 0
+		cursor[i] = 0
+	}
 	res := Result{}
-	remaining := nseg
+	remaining := len(p.Segments)
 	for remaining > 0 {
 		progressed := false
-		for proc := range procSegs {
-			for cursor[proc] < len(procSegs[proc]) {
-				si := procSegs[proc][cursor[proc]]
+		for proc := range r.procSegs {
+			for cursor[proc] < len(r.procSegs[proc]) {
+				si := r.procSegs[proc][cursor[proc]]
 				ready := clock[proc]
 				ok := true
-				for _, pr := range preds[si] {
+				for _, pr := range r.preds[si] {
 					if !done[pr] {
 						ok = false
 						break
@@ -96,6 +142,18 @@ func RunPlan(p *ckpt.Plan, fs FailureSource) (Result, error) {
 	return res, nil
 }
 
+// RunPlan simulates one execution of a segmented plan (CkptAll,
+// CkptSome, ExitOnly, Periodic) under the given failure source. It is
+// the one-shot form of Runner.RunWith; callers simulating many trials
+// should hold a Runner instead.
+func RunPlan(p *ckpt.Plan, fs FailureSource) (Result, error) {
+	r, err := NewRunner(p)
+	if err != nil {
+		return Result{}, err
+	}
+	return r.RunWith(fs)
+}
+
 // executeWithFailures runs one work unit of nominal duration d starting
 // at time start on proc, restarting from scratch on every failure.
 func executeWithFailures(fs FailureSource, proc int, start, d float64) (end float64, failures int) {
@@ -120,8 +178,13 @@ func executeWithFailures(fs FailureSource, proc int, start, d float64) (end floa
 // One attempt lasts W_par (the failure-free parallel time of the
 // schedule); the platform-wide failure process has rate p·λ.
 func RunNone(s *sched.Schedule, pf platform.Platform, rng *rand.Rand) Result {
-	wpar := s.FailureFreeMakespan()
-	e := dist.Exponential{Lambda: pf.Lambda * float64(pf.Processors)}
+	return runNone(s.FailureFreeMakespan(),
+		dist.Exponential{Lambda: pf.Lambda * float64(pf.Processors)}, rng)
+}
+
+// runNone is RunNone with the attempt length and platform-wide failure
+// law hoisted, so trial loops pay neither per trial.
+func runNone(wpar float64, e dist.Exponential, rng *rand.Rand) Result {
 	res := Result{}
 	t := 0.0
 	for {
@@ -137,48 +200,88 @@ func RunNone(s *sched.Schedule, pf platform.Platform, rng *rand.Rand) Result {
 
 // EstimateExpected runs trials independent simulations of the plan and
 // summarizes the makespans (mean, CI95, ...). It is the empirical
-// counterpart of the analytic estimators.
-func EstimateExpected(p *ckpt.Plan, trials int, seed int64) (dist.Summary, error) {
-	s, _, err := EstimateExpectedDetail(p, trials, seed)
+// counterpart of the analytic estimators. Trials are split into
+// fixed-size chunks (par.Chunk), each drawn from its own deterministic
+// sub-seeded generator, and fanned over up to workers goroutines (0
+// means GOMAXPROCS) with one Runner of scratch per goroutine — the
+// summary is bit-identical for every worker count.
+func EstimateExpected(p *ckpt.Plan, trials int, seed int64, workers int) (dist.Summary, error) {
+	s, _, err := EstimateExpectedDetail(p, trials, seed, workers)
 	return s, err
 }
 
 // EstimateExpectedDetail is EstimateExpected plus the mean number of
 // failures that struck a busy processor per run.
-func EstimateExpectedDetail(p *ckpt.Plan, trials int, seed int64) (dist.Summary, float64, error) {
-	rng := rand.New(rand.NewSource(seed))
-	samples := make([]float64, trials)
-	failures := 0
-	for i := 0; i < trials; i++ {
-		fs := NewPoissonFailures(p.Platform.Processors, p.Platform.Lambda, rng)
-		r, err := RunPlan(p, fs)
-		if err != nil {
-			return dist.Summary{}, 0, err
-		}
-		samples[i] = r.Makespan
-		failures += r.Failures
+func EstimateExpectedDetail(p *ckpt.Plan, trials int, seed int64, workers int) (dist.Summary, float64, error) {
+	if p.Strategy == ckpt.CkptNone {
+		return dist.Summary{}, 0, fmt.Errorf("sim: use EstimateExpectedNone for the CkptNone strategy")
 	}
-	return dist.Summarize(samples), meanCount(failures, trials), nil
+	if trials <= 0 {
+		return dist.Summary{}, 0, nil
+	}
+	samples := make([]float64, trials)
+	failures := make([]int, par.Chunks(trials))
+	err := par.ForEachWith(workers, par.Chunks(trials),
+		func() *Runner { r, _ := NewRunner(p); return r },
+		func(r *Runner, c int) error {
+			lo, hi := par.ChunkBounds(c, trials)
+			rng := rand.New(rand.NewSource(par.SubSeed(seed, c)))
+			fails := 0
+			for i := lo; i < hi; i++ {
+				res, err := r.Run(rng)
+				if err != nil {
+					return err
+				}
+				samples[i] = res.Makespan
+				fails += res.Failures
+			}
+			failures[c] = fails
+			return nil
+		})
+	if err != nil {
+		return dist.Summary{}, 0, err
+	}
+	total := 0
+	for _, f := range failures {
+		total += f
+	}
+	return dist.Summarize(samples), meanCount(total, trials), nil
 }
 
 // EstimateExpectedNone is EstimateExpected for the CkptNone strategy.
-func EstimateExpectedNone(s *sched.Schedule, pf platform.Platform, trials int, seed int64) dist.Summary {
-	sum, _ := EstimateExpectedNoneDetail(s, pf, trials, seed)
+func EstimateExpectedNone(s *sched.Schedule, pf platform.Platform, trials int, seed int64, workers int) dist.Summary {
+	sum, _ := EstimateExpectedNoneDetail(s, pf, trials, seed, workers)
 	return sum
 }
 
 // EstimateExpectedNoneDetail is EstimateExpectedNone plus the mean
-// failure count per run.
-func EstimateExpectedNoneDetail(s *sched.Schedule, pf platform.Platform, trials int, seed int64) (dist.Summary, float64) {
-	rng := rand.New(rand.NewSource(seed))
-	samples := make([]float64, trials)
-	failures := 0
-	for i := 0; i < trials; i++ {
-		r := RunNone(s, pf, rng)
-		samples[i] = r.Makespan
-		failures += r.Failures
+// failure count per run. Trials are chunked and sub-seeded exactly like
+// EstimateExpectedDetail, so the summary is worker-count invariant.
+func EstimateExpectedNoneDetail(s *sched.Schedule, pf platform.Platform, trials int, seed int64, workers int) (dist.Summary, float64) {
+	if trials <= 0 {
+		return dist.Summary{}, 0
 	}
-	return dist.Summarize(samples), meanCount(failures, trials)
+	wpar := s.FailureFreeMakespan()
+	e := dist.Exponential{Lambda: pf.Lambda * float64(pf.Processors)}
+	samples := make([]float64, trials)
+	failures := make([]int, par.Chunks(trials))
+	par.ForEach(workers, par.Chunks(trials), func(c int) error {
+		lo, hi := par.ChunkBounds(c, trials)
+		rng := rand.New(rand.NewSource(par.SubSeed(seed, c)))
+		fails := 0
+		for i := lo; i < hi; i++ {
+			r := runNone(wpar, e, rng)
+			samples[i] = r.Makespan
+			fails += r.Failures
+		}
+		failures[c] = fails
+		return nil
+	})
+	total := 0
+	for _, f := range failures {
+		total += f
+	}
+	return dist.Summarize(samples), meanCount(total, trials)
 }
 
 func meanCount(total, trials int) float64 {

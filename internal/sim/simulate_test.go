@@ -8,6 +8,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/dist"
 	"repro/internal/mspg"
+	"repro/internal/par"
 	"repro/internal/pegasus"
 	"repro/internal/platform"
 	"repro/internal/sched"
@@ -219,12 +220,82 @@ func TestEstimateExpectedMatchesAnalytic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sum, err := EstimateExpected(p, 3000, 9)
+		sum, err := EstimateExpected(p, 3000, 9, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if dist.RelErr(analytic, sum.Mean) > 0.02 {
 			t.Fatalf("%s: analytic %g vs DES %g ± %g", fam, analytic, sum.Mean, sum.CI95)
+		}
+	}
+}
+
+// TestEstimateExpectedWorkerInvariance pins the tentpole determinism
+// contract: the chunked, sub-seeded trial fan-out must give bit-identical
+// summaries and failure means for every worker count (run under -race in
+// CI, which also proves the fan-out is data-race free).
+func TestEstimateExpectedWorkerInvariance(t *testing.T) {
+	w, err := pegasus.Generate("montage", pegasus.Options{Tasks: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := platform.New(5, 0, 1e8).WithLambdaForPFail(0.003, w.G)
+	pf.ScaleToCCR(w.G, 0.05)
+	s, err := sched.Allocate(w, pf, sched.Options{Rng: rand.New(rand.NewSource(4))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ckpt.BuildPlan(s, pf, ckpt.CkptSome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trial counts spanning one partial chunk, an exact chunk boundary
+	// and several chunks with a ragged tail.
+	for _, trials := range []int{300, par.Chunk, 2*par.Chunk + 17} {
+		serialSum, serialFails, err := EstimateExpectedDetail(p, trials, 9, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialNone, serialNoneFails := EstimateExpectedNoneDetail(s, pf, trials, 9, 1)
+		for _, workers := range []int{2, 7} {
+			sum, fails, err := EstimateExpectedDetail(p, trials, 9, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum != serialSum || fails != serialFails {
+				t.Fatalf("trials=%d workers=%d: %+v/%g != serial %+v/%g",
+					trials, workers, sum, fails, serialSum, serialFails)
+			}
+			none, noneFails := EstimateExpectedNoneDetail(s, pf, trials, 9, workers)
+			if none != serialNone || noneFails != serialNoneFails {
+				t.Fatalf("trials=%d workers=%d (none): %+v/%g != serial %+v/%g",
+					trials, workers, none, noneFails, serialNone, serialNoneFails)
+			}
+		}
+	}
+}
+
+// TestRunnerMatchesRunPlan checks that the reusable Runner and the
+// one-shot RunPlan agree trial by trial on a shared generator stream.
+func TestRunnerMatchesRunPlan(t *testing.T) {
+	p := chainPlan(t, []float64{10, 20, 30}, 5, 0.02, ckpt.CkptSome)
+	r, err := NewRunner(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rngA := rand.New(rand.NewSource(17))
+	rngB := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		got, err := r.Run(rngA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := RunPlan(p, NewPoissonFailures(p.Platform.Processors, p.Platform.Lambda, rngB))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: runner %+v != one-shot %+v", trial, got, want)
 		}
 	}
 }
@@ -271,7 +342,7 @@ func TestTraceFailuresOutOfRangeProc(t *testing.T) {
 func TestEstimateExpectedDetailCountsFailures(t *testing.T) {
 	// λ·span ≈ 0.5: most runs see at least one failure.
 	p := chainPlan(t, []float64{10}, 0, 0.05, ckpt.CkptSome)
-	sum, fails, err := EstimateExpectedDetail(p, 500, 7)
+	sum, fails, err := EstimateExpectedDetail(p, 500, 7, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +353,7 @@ func TestEstimateExpectedDetailCountsFailures(t *testing.T) {
 		t.Fatalf("failures must lengthen the mean makespan: %g", sum.Mean)
 	}
 	// The summary matches the plain estimator for the same seed.
-	plain, err := EstimateExpected(p, 500, 7)
+	plain, err := EstimateExpected(p, 500, 7, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
