@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench golden-update fuzz-smoke
+.PHONY: check vet build test race bench-smoke bench golden-update fuzz-smoke serve-smoke
 
 check: vet build race bench-smoke
 
@@ -31,6 +31,25 @@ bench:
 # numeric change; inspect the testdata/golden diff before committing.
 golden-update:
 	$(GO) test -run TestGolden -update .
+
+# Boot cmd/serve, hit /healthz and one /v1/plan, tear down. Proves the
+# daemon wiring (listen, JSON round trip, graceful shutdown) outside the
+# httptest harness.
+serve-smoke:
+	$(GO) build -o /tmp/hanccr-serve ./cmd/serve
+	@set -e; \
+	/tmp/hanccr-serve -addr 127.0.0.1:18080 & pid=$$!; \
+	trap "kill $$pid 2>/dev/null || true" EXIT; \
+	ok=0; \
+	for i in $$(seq 1 50); do \
+		if curl -fsS http://127.0.0.1:18080/healthz >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	[ $$ok -eq 1 ] || { echo "serve-smoke: daemon never came up"; exit 1; }; \
+	curl -fsS -X POST -d '{"family":"genome","tasks":50,"procs":5}' \
+		http://127.0.0.1:18080/v1/plan | grep -q '"expected_makespan"'; \
+	kill -TERM $$pid; wait $$pid || true; \
+	echo "serve-smoke: OK"
 
 # Short fuzz pass over the workflow loaders.
 fuzz-smoke:

@@ -6,75 +6,57 @@
 //
 //	evalmk -family ligo -tasks 300 -procs 35 -pfail 0.001 -ccr 0.1 \
 //	       -strategy CkptSome -estimator PathApprox [-all]
+//
+// Exit codes: 1 generic failure, 2 workflow parse failure, 3 workflow
+// not an M-SPG.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"repro/internal/ckpt"
-	"repro/internal/core"
-	"repro/internal/mspg"
-	"repro/internal/pegasus"
-	"repro/internal/platform"
+	hanccr "repro"
 )
 
 func main() {
-	family := flag.String("family", "genome", "workflow family")
-	input := flag.String("input", "", "load workflow from a .json or .dax/.xml file instead of generating")
-	tasks := flag.Int("tasks", 300, "approximate task count")
-	procs := flag.Int("procs", 35, "processor count")
-	pfail := flag.Float64("pfail", 0.001, "per-task failure probability")
-	ccr := flag.Float64("ccr", 0.01, "communication-to-computation ratio")
-	seed := flag.Int64("seed", 42, "seed")
-	bw := flag.Float64("bw", 1e8, "stable storage bandwidth, bytes/s")
-	strategy := flag.String("strategy", "CkptSome", "CkptSome | CkptAll | CkptNone | ExitOnly")
-	estimator := flag.String("estimator", "PathApprox", "PathApprox | MonteCarlo | Normal | Dodin")
+	sf := hanccr.BindScenarioFlags(flag.CommandLine)
+	strategy := flag.String("strategy", string(hanccr.CkptSome), "CkptSome | CkptAll | CkptNone | ExitOnly")
+	estimator := flag.String("estimator", string(hanccr.PathApprox), "PathApprox | MonteCarlo | Normal | Dodin")
 	trials := flag.Int("mc", 10000, "Monte Carlo trials")
 	all := flag.Bool("all", false, "run all four estimators")
 	flag.Parse()
+	ctx := context.Background()
 
-	var w *mspg.Workflow
-	var err error
-	if *input != "" {
-		w, _, err = core.LoadWorkflow(*input)
-	} else {
-		w, err = pegasus.Generate(*family, pegasus.Options{Tasks: *tasks, Seed: *seed})
-	}
+	sc, err := sf.Scenario(hanccr.WithStrategy(hanccr.Strategy(*strategy)))
 	if err != nil {
 		fatal(err)
 	}
-	pf := platform.New(*procs, 0, *bw).WithLambdaForPFail(*pfail, w.G)
-	pf.ScaleToCCR(w.G, *ccr)
-
-	strat := ckpt.Strategy(*strategy)
-	ests := []ckpt.Estimator{ckpt.Estimator(*estimator)}
-	if *all && strat != ckpt.CkptNone {
-		ests = []ckpt.Estimator{ckpt.EstPathApprox, ckpt.EstMonteCarlo, ckpt.EstNormal, ckpt.EstDodin}
+	plan, err := hanccr.NewPlan(ctx, sc)
+	if err != nil {
+		fatal(err)
+	}
+	methods := []hanccr.Method{hanccr.Method(*estimator)}
+	if *all && sc.Strategy() != hanccr.CkptNone {
+		methods = hanccr.Methods()
 	}
 	fmt.Printf("%-12s %-12s %14s %12s\n", "strategy", "estimator", "E[makespan]", "time")
-	for _, est := range ests {
-		em, elapsed, err := evalOne(w, pf, strat, est, *trials, *seed)
+	for _, m := range methods {
+		start := time.Now()
+		em, err := plan.Estimate(ctx, m,
+			hanccr.WithMCTrials(*trials), hanccr.WithMCSeed(sc.Seed()), hanccr.WithEstimateWorkers(sf.Workers))
+		elapsed := time.Since(start)
 		if err != nil {
-			fmt.Printf("%-12s %-12s %14s %12s (%v)\n", strat, est, "error", "-", err)
+			fmt.Printf("%-12s %-12s %14s %12s (%v)\n", sc.Strategy(), m, "error", "-", err)
 			continue
 		}
-		fmt.Printf("%-12s %-12s %14.6g %12s\n", strat, est, em, elapsed.Truncate(time.Microsecond))
+		fmt.Printf("%-12s %-12s %14.6g %12s\n", sc.Strategy(), m, em, elapsed.Truncate(time.Microsecond))
 	}
-}
-
-func evalOne(w *mspg.Workflow, pf platform.Platform, strat ckpt.Strategy, est ckpt.Estimator, trials int, seed int64) (float64, time.Duration, error) {
-	start := time.Now()
-	res, err := core.Run(w, pf, core.Config{Strategy: strat, Estimator: est, MCTrials: trials, Seed: seed})
-	if err != nil {
-		return 0, 0, err
-	}
-	return res.ExpectedMakespan, time.Since(start), nil
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "evalmk:", err)
-	os.Exit(1)
+	os.Exit(hanccr.ExitCode(err))
 }

@@ -14,35 +14,46 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
+	hanccr "repro"
 	"repro/internal/expt"
 )
 
 func main() {
+	// The scenario-level knobs (seed, workers) come from the shared
+	// façade flag block, so the grid harness cannot drift from the other
+	// binaries; the grid-shape flags stay local.
+	sf := hanccr.BindScenarioFlags(flag.CommandLine, "seed", "workers")
 	exp := flag.String("exp", "all", "all | fig5 | fig6 | fig7 | accuracy | simcheck | ablations")
 	out := flag.String("out", "results", "output directory for CSVs")
-	seed := flag.Int64("seed", 42, "seed")
 	truth := flag.Int("truth", 300000, "Monte Carlo ground-truth trials (accuracy)")
 	trials := flag.Int("trials", 2000, "simulator trials (simcheck)")
 	points := flag.Int("points", 5, "CCR points per decade (figures)")
 	sizes := flag.String("sizes", "", "comma list of workflow sizes (default 50,300,1000)")
 	plots := flag.Bool("plots", true, "print ASCII plots for representative panels")
-	workers := flag.Int("workers", 0, "grid worker goroutines (0 = all cores); rows are identical for any value")
 	flag.Parse()
+	seed, workers := &sf.Seed, &sf.Workers
+
+	// Ctrl-C abandons the grid mid-sweep instead of orphaning the pool.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	runs := map[string]func() error{
-		"fig5":      func() error { return runFigure("genome", "fig5", *out, *seed, *points, *sizes, *plots, *workers) },
-		"fig6":      func() error { return runFigure("montage", "fig6", *out, *seed, *points, *sizes, *plots, *workers) },
-		"fig7":      func() error { return runFigure("ligo", "fig7", *out, *seed, *points, *sizes, *plots, *workers) },
-		"accuracy":  func() error { return runAccuracy(*out, *seed, *truth, *workers) },
-		"simcheck":  func() error { return runSimCheck(*out, *seed, *trials, *workers) },
-		"ablations": func() error { return runAblations(*out, *seed, *workers) },
+		"fig5":      func() error { return runFigure(ctx, "genome", "fig5", *out, *seed, *points, *sizes, *plots, *workers) },
+		"fig6":      func() error { return runFigure(ctx, "montage", "fig6", *out, *seed, *points, *sizes, *plots, *workers) },
+		"fig7":      func() error { return runFigure(ctx, "ligo", "fig7", *out, *seed, *points, *sizes, *plots, *workers) },
+		"accuracy":  func() error { return runAccuracy(ctx, *out, *seed, *truth, *workers) },
+		"simcheck":  func() error { return runSimCheck(ctx, *out, *seed, *trials, *workers) },
+		"ablations": func() error { return runAblations(ctx, *out, *seed, *workers) },
 	}
 	order := []string{"fig5", "fig6", "fig7", "accuracy", "simcheck", "ablations"}
 	selected := order
@@ -77,7 +88,7 @@ func parseSizes(s string) []int {
 	return out
 }
 
-func runFigure(family, figName, out string, seed int64, points int, sizes string, plots bool, workers int) error {
+func runFigure(ctx context.Context, family, figName, out string, seed int64, points int, sizes string, plots bool, workers int) error {
 	cfg := expt.FigureConfig(family)
 	cfg.Seed = seed
 	cfg.PointsPerDecade = points
@@ -85,7 +96,7 @@ func runFigure(family, figName, out string, seed int64, points int, sizes string
 	if sz := parseSizes(sizes); sz != nil {
 		cfg.Sizes = sz
 	}
-	rows, err := expt.RunSweep(cfg)
+	rows, err := expt.RunSweep(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -141,8 +152,8 @@ func middleProcs(keys []expt.GroupKey, k expt.GroupKey) int {
 	return second
 }
 
-func runAccuracy(out string, seed int64, truth, workers int) error {
-	rows, err := expt.RunAccuracy(expt.AccuracyConfig{Seed: seed, TruthTrials: truth, Workers: workers})
+func runAccuracy(ctx context.Context, out string, seed int64, truth, workers int) error {
+	rows, err := expt.RunAccuracy(ctx, expt.AccuracyConfig{Seed: seed, TruthTrials: truth, Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -151,8 +162,8 @@ func runAccuracy(out string, seed int64, truth, workers int) error {
 	return saveTableCSV(filepath.Join(out, "accuracy.csv"), header, cells)
 }
 
-func runSimCheck(out string, seed int64, trials, workers int) error {
-	rows, err := expt.RunSimCheck(expt.SimCheckConfig{Seed: seed, Trials: trials, Workers: workers})
+func runSimCheck(ctx context.Context, out string, seed int64, trials, workers int) error {
+	rows, err := expt.RunSimCheck(ctx, expt.SimCheckConfig{Seed: seed, Trials: trials, Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -169,13 +180,13 @@ func runSimCheck(out string, seed int64, trials, workers int) error {
 	return saveTableCSV(filepath.Join(out, "simcheck.csv"), header, cells)
 }
 
-func runAblations(out string, seed int64, workers int) error {
+func runAblations(ctx context.Context, out string, seed int64, workers int) error {
 	cfg := expt.AblationConfig{Seed: seed, Workers: workers}
 	var all []expt.AblationRow
-	for _, f := range []func(expt.AblationConfig) ([]expt.AblationRow, error){
+	for _, f := range []func(context.Context, expt.AblationConfig) ([]expt.AblationRow, error){
 		expt.AblateCheckpointPlacement, expt.AblateMapping, expt.AblateLinearization,
 	} {
-		rows, err := f(cfg)
+		rows, err := f(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -184,7 +195,7 @@ func runAblations(out string, seed int64, workers int) error {
 	// A4 (extension): first-order vs exact segment cost model under a
 	// high failure rate, validated by discrete-event simulation.
 	a4cfg := expt.AblationConfig{Family: "montage", Tasks: 300, Procs: 35, PFail: 0.01, CCR: 0.1, Seed: seed, Workers: workers}
-	a4, err := expt.AblateCostModel(a4cfg, 1000)
+	a4, err := expt.AblateCostModel(ctx, a4cfg, 1000)
 	if err != nil {
 		return err
 	}

@@ -1,5 +1,6 @@
 // Command genwf generates a Pegasus-style synthetic workflow (montage,
-// ligo, genome or cybershake) and writes it as JSON to stdout or a file.
+// ligo, genome or cybershake) and writes it as JSON or DAX to stdout or
+// a file.
 //
 // Usage:
 //
@@ -7,32 +8,33 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/mspg"
-	"repro/internal/pegasus"
+	hanccr "repro"
 )
 
 func main() {
-	family := flag.String("family", "genome", fmt.Sprintf("workflow family %v", pegasus.Families()))
-	tasks := flag.Int("tasks", 300, "approximate task count")
-	seed := flag.Int64("seed", 42, "generator seed")
-	ragged := flag.Bool("ragged", false, "ligo only: emit the PWG non-M-SPG artifact plus dummy completion")
+	sf := hanccr.BindScenarioFlags(flag.CommandLine, "family", "input", "tasks", "seed", "ragged")
 	out := flag.String("o", "", "output file (default stdout)")
 	format := flag.String("format", "json", "output format: json | dax")
 	summary := flag.Bool("summary", false, "print a structural summary to stderr")
 	flag.Parse()
 
-	w, err := pegasus.Generate(*family, pegasus.Options{Tasks: *tasks, Seed: *seed, Ragged: *ragged})
+	sc, err := sf.Scenario()
+	if err != nil {
+		fatal(err)
+	}
+	wf, err := hanccr.GenerateWorkflow(context.Background(), sc)
 	if err != nil {
 		fatal(err)
 	}
 	if *summary {
-		fmt.Fprintf(os.Stderr, "%s: %s\n", w.Name, w.G)
-		if node, err := mspg.Recognize(w.G); err == nil {
-			fmt.Fprintf(os.Stderr, "M-SPG: yes (%d tree tasks)\n", node.NumTasks())
+		fmt.Fprintf(os.Stderr, "%s: %s\n", wf.Name(), wf)
+		if n, err := wf.MSPGTasks(); err == nil {
+			fmt.Fprintf(os.Stderr, "M-SPG: yes (%d tree tasks)\n", n)
 		} else {
 			fmt.Fprintf(os.Stderr, "M-SPG: NO (%v)\n", err)
 		}
@@ -48,9 +50,9 @@ func main() {
 	}
 	switch *format {
 	case "json":
-		err = w.G.WriteJSON(dst)
+		err = wf.WriteJSON(dst)
 	case "dax":
-		err = w.G.WriteDAX(dst, w.Name)
+		err = wf.WriteDAX(dst)
 	default:
 		err = fmt.Errorf("unknown format %q", *format)
 	}
@@ -61,5 +63,5 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "genwf:", err)
-	os.Exit(1)
+	os.Exit(hanccr.ExitCode(err))
 }

@@ -7,71 +7,56 @@
 // Usage:
 //
 //	schedule -family montage -tasks 300 -procs 35 -pfail 0.001 -ccr 0.01 [-v]
+//
+// Exit codes: 1 generic failure, 2 workflow parse failure, 3 workflow
+// not an M-SPG.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/mspg"
-	"repro/internal/pegasus"
-	"repro/internal/platform"
+	hanccr "repro"
 )
 
 func main() {
-	family := flag.String("family", "genome", "workflow family")
-	input := flag.String("input", "", "load workflow from a .json or .dax/.xml file instead of generating")
-	tasks := flag.Int("tasks", 300, "approximate task count")
-	procs := flag.Int("procs", 35, "processor count")
-	pfail := flag.Float64("pfail", 0.001, "per-task failure probability (calibrates lambda)")
-	ccr := flag.Float64("ccr", 0.01, "communication-to-computation ratio")
-	seed := flag.Int64("seed", 42, "seed")
-	bw := flag.Float64("bw", 1e8, "stable storage bandwidth, bytes/s")
+	sf := hanccr.BindScenarioFlags(flag.CommandLine)
 	verbose := flag.Bool("v", false, "print every superchain and checkpoint")
-	workers := flag.Int("workers", 0, "strategy evaluation goroutines (0 = all cores)")
 	flag.Parse()
+	ctx := context.Background()
 
-	w, err := loadOrGenerate(*input, *family, *tasks, *seed)
+	sc, err := sf.Scenario()
 	if err != nil {
 		fatal(err)
 	}
-	pf := platform.New(*procs, 0, *bw).WithLambdaForPFail(*pfail, w.G)
-	pf.ScaleToCCR(w.G, *ccr)
+	cmp, err := hanccr.Compare(ctx, sc, hanccr.CompareWorkers(sf.Workers))
+	if err != nil {
+		fatal(err)
+	}
+	info := cmp.Some.Workflow()
+	if info.RedundantEdges > 0 {
+		fmt.Fprintf(os.Stderr, "note: %d transitively redundant edges ignored (GSPG recognition)\n", info.RedundantEdges)
+	}
 	fmt.Printf("workflow  %s (%d tasks, %d files, CCR %.4g, lambda %.4g)\n",
-		w.Name, w.G.NumTasks(), w.G.NumFiles(), pf.CCR(w.G), pf.Lambda)
-
-	// The three strategies share one schedule; Compare plans and
-	// evaluates them concurrently on the worker pool. The flag's
-	// 0-means-all-cores convention maps onto Compare's negative value
-	// (its own 0 keeps grid harnesses serial per cell).
-	poolSize := *workers
-	if poolSize == 0 {
-		poolSize = -1
-	}
-	cmp, err := core.Compare(w, pf, core.Config{Seed: *seed, Workers: poolSize})
-	if err != nil {
-		fatal(err)
-	}
+		info.Name, info.Tasks, info.Files, info.CCR, info.Lambda)
 	fmt.Printf("schedule  %d superchains on %d processors, W_par %.4g s\n",
-		cmp.Some.Superchains, *procs, cmp.Some.FailureFreeMakespan)
+		cmp.Some.NumSuperchains(), sf.Procs, cmp.Some.FailureFreeMakespan())
 	fmt.Printf("\n%-10s %14s %12s %10s\n", "strategy", "E[makespan]", "checkpoints", "segments")
-	for _, r := range []*core.Result{cmp.Some, cmp.All, cmp.None} {
-		fmt.Printf("%-10s %14.4g %12d %10d\n", r.Strategy, r.ExpectedMakespan, r.Checkpoints, r.Segments)
+	for _, p := range []*hanccr.Plan{cmp.Some, cmp.All, cmp.None} {
+		fmt.Printf("%-10s %14.4g %12d %10d\n", p.Strategy(), p.ExpectedMakespan(), p.NumCheckpoints(), p.NumSegments())
 	}
 	fmt.Printf("\nEM(CkptAll)/EM(CkptSome)  = %.4f\n", cmp.RelAll())
 	fmt.Printf("EM(CkptNone)/EM(CkptSome) = %.4f\n", cmp.RelNone())
 
 	if *verbose {
 		fmt.Println("\nsuperchains (✓ marks a checkpointed task):")
-		s := cmp.Some.Schedule
-		plan := cmp.Some.Plan
-		for _, sc := range s.Chains {
-			fmt.Printf("  chain %d on P%d:", sc.Index, sc.Proc)
-			for _, t := range sc.Tasks {
+		for _, chain := range cmp.Some.Superchains() {
+			fmt.Printf("  chain %d on P%d:", chain.Index, chain.Proc)
+			for i, t := range chain.Tasks {
 				mark := ""
-				if plan.CheckpointAfter[t] {
+				if chain.Checkpointed[i] {
 					mark = "✓"
 				}
 				fmt.Printf(" T%d%s", t, mark)
@@ -79,29 +64,14 @@ func main() {
 			fmt.Println()
 		}
 		fmt.Println("\nsegments:")
-		for _, seg := range plan.Segments {
+		for _, seg := range cmp.Some.Segments() {
 			fmt.Printf("  seg %3d (chain %3d, P%2d): %3d tasks R=%.4g W=%.4g C=%.4g\n",
-				seg.Index, seg.Chain, seg.Proc, len(seg.Tasks), seg.R, seg.W, seg.C)
+				seg.Index, seg.Chain, seg.Proc, seg.Tasks, seg.R, seg.W, seg.C)
 		}
 	}
-
-}
-
-func loadOrGenerate(input, family string, tasks int, seed int64) (*mspg.Workflow, error) {
-	if input == "" {
-		return pegasus.Generate(family, pegasus.Options{Tasks: tasks, Seed: seed})
-	}
-	w, redundant, err := core.LoadWorkflow(input)
-	if err != nil {
-		return nil, err
-	}
-	if redundant > 0 {
-		fmt.Fprintf(os.Stderr, "note: %d transitively redundant edges ignored (GSPG recognition)\n", redundant)
-	}
-	return w, nil
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "schedule:", err)
-	os.Exit(1)
+	os.Exit(hanccr.ExitCode(err))
 }

@@ -1,0 +1,95 @@
+// Command serve is the long-lived plan/estimate daemon: a hanccr.Service
+// behind HTTP/JSON.
+//
+//	serve -addr :8080 -cache 256
+//
+// Endpoints:
+//
+//	POST /v1/plan      {"family":"genome","tasks":300,"procs":35,"ccr":0.1}
+//	POST /v1/estimate  {...scenario..., "method":"Dodin"}
+//	POST /v1/simulate  {...scenario..., "trials":2000}
+//	GET  /healthz
+//
+// Scenario fields omitted from a request take the same defaults as the
+// CLI flag block. SIGINT/SIGTERM drain in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	hanccr "repro"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cache := flag.Int("cache", hanccr.DefaultCacheCapacity, "plan LRU capacity (scenarios)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+	flag.Parse()
+
+	svc := hanccr.NewService(hanccr.WithCacheCapacity(*cache))
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(hanccr.NewHandler(svc)),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serve: listening on %s (cache capacity %d)", *addr, *cache)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("serve: shutting down (draining up to %s)", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fatal(err)
+	}
+	st := svc.Stats()
+	log.Printf("serve: bye (%d cached plans, %d hits / %d misses)", st.Entries, st.Hits, st.Misses)
+}
+
+// logRequests is a minimal access log: method, path, status, duration.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		log.Printf("%s %s %d %s", r.Method, r.URL.Path, sw.status, time.Since(start).Truncate(time.Microsecond))
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func fatal(err error) {
+	if errors.Is(err, http.ErrServerClosed) {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "serve:", err)
+	os.Exit(1)
+}

@@ -4,64 +4,60 @@
 //
 // Usage:
 //
-//	simulate -family genome -tasks 50 -procs 5 -pfail 0.001 -ccr 0.01 -trials 2000
+//	simulate -family genome -tasks 300 -procs 35 -pfail 0.001 -ccr 0.01 -trials 2000
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/ckpt"
-	"repro/internal/core"
-	"repro/internal/dist"
-	"repro/internal/pegasus"
-	"repro/internal/platform"
-	"repro/internal/sim"
+	hanccr "repro"
 )
 
 func main() {
-	family := flag.String("family", "genome", "workflow family")
-	tasks := flag.Int("tasks", 50, "approximate task count")
-	procs := flag.Int("procs", 5, "processor count")
-	pfail := flag.Float64("pfail", 0.001, "per-task failure probability")
-	ccr := flag.Float64("ccr", 0.01, "communication-to-computation ratio")
-	seed := flag.Int64("seed", 42, "seed")
-	bw := flag.Float64("bw", 1e8, "stable storage bandwidth, bytes/s")
+	sf := hanccr.BindScenarioFlags(flag.CommandLine)
 	trials := flag.Int("trials", 2000, "simulation trials")
-	workers := flag.Int("workers", 0, "trial worker goroutines (0 = all cores); results are identical for any value")
 	flag.Parse()
+	ctx := context.Background()
 
-	w, err := pegasus.Generate(*family, pegasus.Options{Tasks: *tasks, Seed: *seed})
+	base, err := sf.Scenario()
 	if err != nil {
 		fatal(err)
 	}
-	pf := platform.New(*procs, 0, *bw).WithLambdaForPFail(*pfail, w.G)
-	pf.ScaleToCCR(w.G, *ccr)
+	// One long-lived planner serves all three strategies (and shows the
+	// library's service shape in miniature).
+	svc := hanccr.NewService()
+	probe, err := svc.Plan(ctx, base)
+	if err != nil {
+		fatal(err)
+	}
+	info := probe.Workflow()
 	fmt.Printf("workflow %s, p=%d, pfail=%g (lambda %.4g), CCR %.4g, %d trials\n\n",
-		w.Name, *procs, *pfail, pf.Lambda, *ccr, *trials)
+		info.Name, sf.Procs, sf.PFail, info.Lambda, sf.CCR, *trials)
 	fmt.Printf("%-10s %14s %18s %10s\n", "strategy", "analytic E[M]", "simulated E[M]±CI", "rel.diff")
-	for _, strat := range []ckpt.Strategy{ckpt.CkptSome, ckpt.CkptAll, ckpt.CkptNone} {
-		res, err := core.Run(w, pf, core.Config{Strategy: strat, Seed: *seed})
+	for _, strat := range []hanccr.Strategy{hanccr.CkptSome, hanccr.CkptAll, hanccr.CkptNone} {
+		sc, err := sf.Scenario(hanccr.WithStrategy(strat))
 		if err != nil {
 			fatal(err)
 		}
-		var s dist.Summary
-		if strat == ckpt.CkptNone {
-			s = sim.EstimateExpectedNone(res.Schedule, pf, *trials, *seed, *workers)
-		} else {
-			s, err = sim.EstimateExpected(res.Plan, *trials, *seed, *workers)
-			if err != nil {
-				fatal(err)
-			}
+		plan, err := svc.Plan(ctx, sc)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := plan.Simulate(ctx,
+			hanccr.WithSimTrials(*trials), hanccr.WithSimSeed(base.Seed()), hanccr.WithSimWorkers(sf.Workers))
+		if err != nil {
+			fatal(err)
 		}
 		fmt.Printf("%-10s %14.6g %12.6g±%-6.3g %9.2f%%\n",
-			strat, res.ExpectedMakespan, s.Mean, s.CI95,
-			100*dist.RelErr(res.ExpectedMakespan, s.Mean))
+			strat, plan.ExpectedMakespan(), res.Mean, res.CI95,
+			100*hanccr.RelErr(plan.ExpectedMakespan(), res.Mean))
 	}
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "simulate:", err)
-	os.Exit(1)
+	os.Exit(hanccr.ExitCode(err))
 }

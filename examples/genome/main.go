@@ -1,17 +1,16 @@
 // Example genome: plan a 1000-task Epigenomics workflow on a 61-processor
-// cluster, sweep the failure rate, and watch Algorithm 2 trade checkpoint
-// I/O against re-execution risk — the scenario where CkptSome shines
-// because the lane pipelines are long chains.
+// cluster through the public hanccr façade, sweep the failure rate, and
+// watch Algorithm 2 trade checkpoint I/O against re-execution risk — the
+// scenario where CkptSome shines because the lane pipelines are long
+// chains.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/ckpt"
-	"repro/internal/core"
-	"repro/internal/pegasus"
-	"repro/internal/platform"
+	hanccr "repro"
 )
 
 func main() {
@@ -20,24 +19,25 @@ func main() {
 		procs = 61
 		ccr   = 0.005
 	)
+	ctx := context.Background()
 	fmt.Printf("GENOME (Epigenomics), %d tasks, p=%d, CCR=%g\n\n", tasks, procs, ccr)
 	fmt.Printf("%-8s %12s %12s %12s %10s %10s\n",
 		"pfail", "E[M] some", "E[M] all", "E[M] none", "ckpts", "rel all")
 	for _, pfail := range []float64{0.05, 0.01, 0.001, 0.0001, 0.00001} {
-		w, err := pegasus.Generate("genome", pegasus.Options{Tasks: tasks, Seed: 42})
-		if err != nil {
-			log.Fatal(err)
-		}
-		pf := platform.New(procs, 0, 1e8).WithLambdaForPFail(pfail, w.G)
-		pf.ScaleToCCR(w.G, ccr)
-		cmp, err := core.Compare(w, pf, core.Config{Estimator: ckpt.EstPathApprox})
+		cmp, err := hanccr.Compare(ctx, hanccr.NewScenario(
+			hanccr.WithFamily("genome"),
+			hanccr.WithTasks(tasks),
+			hanccr.WithProcs(procs),
+			hanccr.WithCCR(ccr),
+			hanccr.WithPFail(pfail),
+		))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-8g %12.1f %12.1f %12.1f %6d/%-4d %9.4f\n",
 			pfail,
-			cmp.Some.ExpectedMakespan, cmp.All.ExpectedMakespan, cmp.None.ExpectedMakespan,
-			cmp.Some.Checkpoints, tasks, cmp.RelAll())
+			cmp.Some.ExpectedMakespan(), cmp.All.ExpectedMakespan(), cmp.None.ExpectedMakespan(),
+			cmp.Some.NumCheckpoints(), tasks, cmp.RelAll())
 	}
 	fmt.Println("\nReading the table: as failures get rarer (pfail down), CkptSome")
 	fmt.Println("checkpoints fewer and fewer tasks inside each lane pipeline, and")

@@ -1,20 +1,15 @@
 // Example ligo: validate the analytic planner against the discrete-event
-// simulator on a LIGO Inspiral workflow, including the ragged (non-M-SPG)
-// PWG variant that the paper patches with dummy dependencies (footnote 2
-// and footnote 3).
+// simulator on a LIGO Inspiral workflow through the public hanccr façade,
+// including the ragged (non-M-SPG) PWG variant that the paper patches
+// with dummy dependencies (footnote 2 and footnote 3).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/ckpt"
-	"repro/internal/core"
-	"repro/internal/dist"
-	"repro/internal/mspg"
-	"repro/internal/pegasus"
-	"repro/internal/platform"
-	"repro/internal/sim"
+	hanccr "repro"
 )
 
 func main() {
@@ -25,36 +20,43 @@ func main() {
 		ccr    = 0.05
 		trials = 1000
 	)
+	ctx := context.Background()
 	for _, ragged := range []bool{false, true} {
-		w, err := pegasus.Generate("ligo", pegasus.Options{Tasks: tasks, Seed: 42, Ragged: ragged})
-		if err != nil {
-			log.Fatal(err)
-		}
+		sc := hanccr.NewScenario(
+			hanccr.WithFamily("ligo"),
+			hanccr.WithTasks(tasks),
+			hanccr.WithProcs(procs),
+			hanccr.WithPFail(pfail),
+			hanccr.WithCCR(ccr),
+			hanccr.WithRagged(ragged),
+		)
 		kind := "regular"
 		if ragged {
 			kind = "ragged (PWG artifact + dummy-edge completion)"
 		}
-		fmt.Printf("LIGO %s: %d tasks, %d edges\n", kind, w.G.NumTasks(), w.G.NumEdges())
-		if _, err := mspg.Recognize(w.G); err != nil {
+		wf, err := hanccr.GenerateWorkflow(ctx, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("LIGO %s: %d tasks\n", kind, wf.NumTasks())
+		if _, err := wf.MSPGTasks(); err != nil {
 			fmt.Printf("  recognition: %v\n", err)
 		} else {
 			fmt.Println("  recognition: graph is an M-SPG")
 		}
 
-		pf := platform.New(procs, 0, 1e8).WithLambdaForPFail(pfail, w.G)
-		pf.ScaleToCCR(w.G, ccr)
-		res, err := core.Run(w, pf, core.Config{Strategy: ckpt.CkptSome})
+		plan, err := hanccr.NewPlan(ctx, sc)
 		if err != nil {
 			log.Fatal(err)
 		}
-		s, err := sim.EstimateExpected(res.Plan, trials, 7, 0)
+		res, err := plan.Simulate(ctx, hanccr.WithSimTrials(trials), hanccr.WithSimSeed(7))
 		if err != nil {
 			log.Fatal(err)
 		}
+		em := plan.ExpectedMakespan()
 		fmt.Printf("  analytic E[M] %.1f s | simulated %.1f ± %.1f s (rel.diff %.2f%%)\n",
-			res.ExpectedMakespan, s.Mean, s.CI95,
-			100*dist.RelErr(res.ExpectedMakespan, s.Mean))
+			em, res.Mean, res.CI95, 100*hanccr.RelErr(em, res.Mean))
 		fmt.Printf("  %d checkpoints over %d tasks, %d superchains, %d segments\n\n",
-			res.Checkpoints, w.G.NumTasks(), res.Superchains, res.Segments)
+			plan.NumCheckpoints(), plan.Workflow().Tasks, plan.NumSuperchains(), plan.NumSegments())
 	}
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func main() {
 
 	var rows []expt.Row
 	for _, ccr := range expt.CCRGrid(1e-3, 1, 4) {
-		row, err := expt.RunPoint(cfg, tasks, procs, pfail, ccr)
+		row, err := expt.RunPoint(context.Background(), cfg, tasks, procs, pfail, ccr)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func main() {
 	pf := platform.New(2, 5e-4, 1e8)
 
 	for _, strat := range []ckpt.Strategy{ckpt.CkptSome, ckpt.CkptAll, ckpt.CkptNone} {
-		res, err := core.Run(w, pf, core.Config{Strategy: strat})
+		res, err := core.Run(context.Background(), w, pf, core.Config{Strategy: strat})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,124 @@
+package hanccr
+
+import (
+	"flag"
+	"fmt"
+)
+
+// ScenarioFlags is the one shared flag block behind every CLI: it
+// defines, parses and validates the scenario knobs once, so the five
+// binaries cannot silently drift apart on names or defaults (they used
+// to: cmd/simulate defaulted to 50 tasks on 5 processors while
+// cmd/schedule said 300 on 35).
+//
+// Bind the full block or a subset:
+//
+//	sf := hanccr.BindScenarioFlags(flag.CommandLine)            // everything
+//	sf := hanccr.BindScenarioFlags(fs, "family", "tasks", "seed")
+//	flag.Parse()
+//	sc, err := sf.Scenario()
+//
+// Unbound fields keep the shared defaults.
+type ScenarioFlags struct {
+	Family    string
+	Input     string
+	Tasks     int
+	Procs     int
+	PFail     float64
+	CCR       float64
+	Seed      int64
+	Bandwidth float64
+	Workers   int
+	Ragged    bool
+}
+
+// scenarioFlagNames lists every flag BindScenarioFlags can define, in
+// definition order.
+var scenarioFlagNames = []string{
+	"family", "input", "tasks", "procs", "pfail", "ccr", "seed", "bw", "workers", "ragged",
+}
+
+// BindScenarioFlags registers the shared scenario flags on fs and
+// returns the struct they parse into. With no names every flag is
+// bound; otherwise only the named subset is (unknown names panic — they
+// are programmer error). Call fs.Parse (or flag.Parse) before
+// Scenario().
+func BindScenarioFlags(fs *flag.FlagSet, names ...string) *ScenarioFlags {
+	f := &ScenarioFlags{
+		Family:    DefaultFamily,
+		Tasks:     DefaultTasks,
+		Procs:     DefaultProcs,
+		PFail:     DefaultPFail,
+		CCR:       DefaultCCR,
+		Seed:      DefaultSeed,
+		Bandwidth: DefaultBandwidth,
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		known := false
+		for _, k := range scenarioFlagNames {
+			if k == n {
+				known = true
+				break
+			}
+		}
+		if !known {
+			panic(fmt.Sprintf("hanccr: unknown scenario flag %q", n))
+		}
+		want[n] = true
+	}
+	bind := func(name string) bool { return len(want) == 0 || want[name] }
+	if bind("family") {
+		fs.StringVar(&f.Family, "family", f.Family, "workflow family (montage | ligo | genome | cybershake)")
+	}
+	if bind("input") {
+		fs.StringVar(&f.Input, "input", f.Input, "load workflow from a .json or .dax/.xml file instead of generating")
+	}
+	if bind("tasks") {
+		fs.IntVar(&f.Tasks, "tasks", f.Tasks, "approximate task count")
+	}
+	if bind("procs") {
+		fs.IntVar(&f.Procs, "procs", f.Procs, "processor count")
+	}
+	if bind("pfail") {
+		fs.Float64Var(&f.PFail, "pfail", f.PFail, "per-task failure probability (calibrates lambda)")
+	}
+	if bind("ccr") {
+		fs.Float64Var(&f.CCR, "ccr", f.CCR, "communication-to-computation ratio")
+	}
+	if bind("seed") {
+		fs.Int64Var(&f.Seed, "seed", f.Seed, "seed for generation and linearization")
+	}
+	if bind("bw") {
+		fs.Float64Var(&f.Bandwidth, "bw", f.Bandwidth, "stable storage bandwidth, bytes/s")
+	}
+	if bind("workers") {
+		fs.IntVar(&f.Workers, "workers", f.Workers, "worker goroutines (0 = all cores); results are identical for any value")
+	}
+	if bind("ragged") {
+		fs.BoolVar(&f.Ragged, "ragged", f.Ragged, "ligo only: emit the PWG non-M-SPG artifact plus dummy completion")
+	}
+	return f
+}
+
+// Scenario builds and validates the scenario the parsed flags
+// describe. extra options (e.g. WithStrategy from a binary-specific
+// flag) are applied after the shared block.
+func (f *ScenarioFlags) Scenario(extra ...ScenarioOption) (Scenario, error) {
+	opts := []ScenarioOption{
+		WithFamily(f.Family),
+		WithTasks(f.Tasks),
+		WithProcs(f.Procs),
+		WithPFail(f.PFail),
+		WithCCR(f.CCR),
+		WithSeed(f.Seed),
+		WithBandwidth(f.Bandwidth),
+		WithRagged(f.Ragged),
+	}
+	if f.Input != "" {
+		opts = append(opts, WithWorkflowFile(f.Input))
+	}
+	opts = append(opts, extra...)
+	sc := NewScenario(opts...)
+	return sc, sc.Validate()
+}

@@ -1,0 +1,79 @@
+package hanccr
+
+import (
+	"flag"
+	"io"
+	"testing"
+)
+
+// TestScenarioFlagsDefaultsMatchNewScenario pins the anti-drift
+// guarantee the shared flag block exists for: parsing an empty command
+// line yields exactly the scenario NewScenario() builds, for every
+// binary.
+func TestScenarioFlagsDefaultsMatchNewScenario(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	sf := BindScenarioFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sf.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Key() != NewScenario().Key() {
+		t.Fatalf("flag defaults diverge from NewScenario():\nflags: %+v", sf)
+	}
+}
+
+// TestScenarioFlagsSubset checks subset binding defines exactly the
+// requested flags.
+func TestScenarioFlagsSubset(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	BindScenarioFlags(fs, "family", "tasks", "seed")
+	for _, name := range []string{"family", "tasks", "seed"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("flag -%s missing", name)
+		}
+	}
+	for _, name := range []string{"procs", "pfail", "ccr", "bw", "workers", "input", "ragged"} {
+		if fs.Lookup(name) != nil {
+			t.Errorf("flag -%s bound although not requested", name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown flag name must panic")
+		}
+	}()
+	BindScenarioFlags(flag.NewFlagSet("y", flag.ContinueOnError), "familly")
+}
+
+// TestScenarioFlagsParse exercises a realistic command line end to end,
+// including strategy pass-through and the input-file path.
+func TestScenarioFlagsParse(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	sf := BindScenarioFlags(fs)
+	err := fs.Parse([]string{
+		"-family", "montage", "-tasks", "80", "-procs", "7",
+		"-pfail", "0.01", "-ccr", "0.5", "-seed", "9", "-bw", "2e8", "-workers", "4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sf.Scenario(WithStrategy(CkptAll))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Strategy() != CkptAll || sc.Seed() != 9 {
+		t.Fatalf("scenario = %+v", sc)
+	}
+	want := NewScenario(
+		WithFamily("montage"), WithTasks(80), WithProcs(7),
+		WithPFail(0.01), WithCCR(0.5), WithSeed(9), WithBandwidth(2e8),
+		WithStrategy(CkptAll),
+	)
+	if sc.Key() != want.Key() {
+		t.Fatal("parsed scenario hashes differently from the equivalent NewScenario")
+	}
+}

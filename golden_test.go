@@ -1,6 +1,7 @@
-package repro
+package hanccr
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -116,7 +117,7 @@ func describeSweepRow(got, want expt.Row) string {
 // 6 (MONTAGE) and 7 (LIGO).
 func TestGoldenFigurePanels(t *testing.T) {
 	for fig, family := range map[string]string{"fig5": "genome", "fig6": "montage", "fig7": "ligo"} {
-		rows, err := expt.RunSweep(goldenSweepConfig(family))
+		rows, err := expt.RunSweep(context.Background(), goldenSweepConfig(family))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -128,7 +129,7 @@ func TestGoldenFigurePanels(t *testing.T) {
 // two families at size 50: the Monte Carlo ground truth and all four
 // estimators' values (hence their relative errors).
 func TestGoldenAccuracyTable(t *testing.T) {
-	rows, err := expt.RunAccuracy(expt.AccuracyConfig{
+	rows, err := expt.RunAccuracy(context.Background(), expt.AccuracyConfig{
 		Families: []string{"genome", "montage"}, Sizes: []int{50},
 		PFails: []float64{0.001}, TruthTrials: 50000, Seed: 42, Workers: 1,
 	})
@@ -159,7 +160,7 @@ func TestGoldenAccuracyTable(t *testing.T) {
 // TestGoldenSimCheck pins the analytic-vs-DES cross-validation rows
 // (all three strategies) for two families.
 func TestGoldenSimCheck(t *testing.T) {
-	rows, err := expt.RunSimCheck(expt.SimCheckConfig{
+	rows, err := expt.RunSimCheck(context.Background(), expt.SimCheckConfig{
 		Families: []string{"genome", "ligo"}, Tasks: 50, Procs: 5,
 		PFails: []float64{0.001}, CCR: 0.01, Trials: 500, Seed: 42, Workers: 1,
 	})

@@ -1,0 +1,115 @@
+// Package hanccr is the public façade of the conf_cluster_HanCCRV17
+// reproduction: checkpoint-strategy selection for M-SPG scientific
+// workflows on fail-stop platforms, judged by estimated expected
+// makespan.
+//
+// The core shape is request/response — a Scenario in, a Plan and its
+// estimate out:
+//
+//	sc := hanccr.NewScenario(
+//		hanccr.WithFamily("genome"), hanccr.WithTasks(300),
+//		hanccr.WithProcs(35), hanccr.WithPFail(0.001), hanccr.WithCCR(0.1),
+//	)
+//	plan, err := hanccr.NewPlan(ctx, sc)       // schedule + checkpoints
+//	em := plan.ExpectedMakespan()              // planning-time estimate
+//	d, err := plan.Estimate(ctx, hanccr.Dodin) // any 2-state estimator
+//	sim, err := plan.Simulate(ctx)             // discrete-event trials
+//	cmp, err := hanccr.Compare(ctx, sc)        // CkptSome vs All vs None
+//
+// Long-lived processes should hold a Service, which memoizes plans in a
+// bounded LRU keyed by the canonical scenario hash and is safe for
+// concurrent use; NewHandler exposes a Service over HTTP/JSON (see
+// cmd/serve).
+//
+// Everything is deterministic at a fixed seed: plans, estimates and
+// simulation summaries are bit-identical across runs and worker counts.
+// All entry points honour context cancellation, observed between units
+// of work inside the parallel fan-outs.
+package hanccr
+
+import (
+	"errors"
+
+	"repro/internal/dist"
+)
+
+// RelErr returns |est − truth| / |truth| — the relative-error measure
+// used throughout the paper's evaluation (0 when both are zero, +Inf
+// when only the reference is). Exported so façade clients do not fork
+// the formula.
+func RelErr(est, truth float64) float64 { return dist.RelErr(est, truth) }
+
+// Typed errors returned by the façade. Use errors.Is; the dynamic
+// message carries the detail (file/position for ErrParse, the failing
+// sub-graph for ErrNotMSPG).
+var (
+	// ErrBadScenario reports an invalid scenario (unknown family,
+	// non-positive processor count, probability out of range, ...).
+	ErrBadScenario = errors.New("hanccr: invalid scenario")
+	// ErrNotMSPG reports a workflow whose dependence structure is not a
+	// Minimal Series-Parallel Graph (and whose transitive reduction is
+	// not one either), so the paper's pipeline cannot schedule it.
+	ErrNotMSPG = errors.New("hanccr: workflow is not an M-SPG")
+	// ErrParse reports an injected workflow file or document that could
+	// not be decoded.
+	ErrParse = errors.New("hanccr: workflow parse failure")
+	// ErrUnknownStrategy reports a checkpoint strategy name outside
+	// CkptSome | CkptAll | CkptNone | ExitOnly.
+	ErrUnknownStrategy = errors.New("hanccr: unknown checkpoint strategy")
+	// ErrUnknownMethod reports an estimator name outside
+	// PathApprox | MonteCarlo | Normal | Dodin.
+	ErrUnknownMethod = errors.New("hanccr: unknown estimation method")
+)
+
+// Strategy names a checkpointing policy.
+type Strategy string
+
+const (
+	// CkptSome is the paper's contribution: optimal checkpoint placement
+	// inside each superchain (Algorithm 2).
+	CkptSome Strategy = "CkptSome"
+	// CkptAll checkpoints after every task.
+	CkptAll Strategy = "CkptAll"
+	// CkptNone never checkpoints; a failure restarts the whole run.
+	CkptNone Strategy = "CkptNone"
+	// ExitOnly checkpoints only at the end of each superchain.
+	ExitOnly Strategy = "ExitOnly"
+)
+
+// Method names an expected-makespan estimator for the 2-state segment
+// DAG.
+type Method string
+
+const (
+	// PathApprox is the paper's method of choice (§VI-B).
+	PathApprox Method = "PathApprox"
+	// MonteCarlo samples the segment DAG (chunked, deterministic per
+	// seed, worker-count invariant).
+	MonteCarlo Method = "MonteCarlo"
+	// Normal is Sculli's normal-moment method.
+	Normal Method = "Normal"
+	// Dodin is Dodin's series-parallel approximation.
+	Dodin Method = "Dodin"
+)
+
+// ExitCode maps façade errors onto the CLIs' shared exit-code
+// convention: 0 success, 2 workflow parse failure, 3 workflow not an
+// M-SPG, 1 anything else.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, ErrParse):
+		return 2
+	case errors.Is(err, ErrNotMSPG):
+		return 3
+	default:
+		return 1
+	}
+}
+
+// Methods lists the supported estimation methods.
+func Methods() []Method { return []Method{PathApprox, MonteCarlo, Normal, Dodin} }
+
+// Strategies lists the supported checkpoint strategies.
+func Strategies() []Strategy { return []Strategy{CkptSome, CkptAll, CkptNone, ExitOnly} }

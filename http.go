@@ -1,0 +1,332 @@
+package hanccr
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// ScenarioRequest is the JSON scenario shape shared by every /v1
+// endpoint. Omitted fields take the shared defaults; pfail, ccr and
+// seed are pointers so an explicit zero survives the trip.
+type ScenarioRequest struct {
+	Family     string   `json:"family,omitempty"`
+	Tasks      int      `json:"tasks,omitempty"`
+	Procs      int      `json:"procs,omitempty"`
+	PFail      *float64 `json:"pfail,omitempty"`
+	CCR        *float64 `json:"ccr,omitempty"`
+	Seed       *int64   `json:"seed,omitempty"`
+	Bandwidth  float64  `json:"bandwidth,omitempty"`
+	Ragged     bool     `json:"ragged,omitempty"`
+	Strategy   string   `json:"strategy,omitempty"`
+	ExactModel bool     `json:"exact_model,omitempty"`
+	// WorkflowJSON injects a workflow document (the native JSON schema)
+	// instead of generating a family.
+	WorkflowJSON json.RawMessage `json:"workflow_json,omitempty"`
+	// WorkflowName labels an injected workflow (default "inline").
+	WorkflowName string `json:"workflow_name,omitempty"`
+}
+
+// Scenario converts the request into a Scenario value.
+func (r ScenarioRequest) Scenario() Scenario {
+	var opts []ScenarioOption
+	if r.Family != "" {
+		opts = append(opts, WithFamily(r.Family))
+	}
+	if r.Tasks != 0 {
+		opts = append(opts, WithTasks(r.Tasks))
+	}
+	if r.Procs != 0 {
+		opts = append(opts, WithProcs(r.Procs))
+	}
+	if r.PFail != nil {
+		opts = append(opts, WithPFail(*r.PFail))
+	}
+	if r.CCR != nil {
+		opts = append(opts, WithCCR(*r.CCR))
+	}
+	if r.Seed != nil {
+		opts = append(opts, WithSeed(*r.Seed))
+	}
+	if r.Bandwidth != 0 {
+		opts = append(opts, WithBandwidth(r.Bandwidth))
+	}
+	if r.Ragged {
+		opts = append(opts, WithRagged(true))
+	}
+	if r.Strategy != "" {
+		opts = append(opts, WithStrategy(Strategy(r.Strategy)))
+	}
+	if r.ExactModel {
+		opts = append(opts, WithExactCostModel())
+	}
+	if len(r.WorkflowJSON) > 0 {
+		name := r.WorkflowName
+		if name == "" {
+			name = "inline"
+		}
+		opts = append(opts, WithWorkflow(name, "json", r.WorkflowJSON))
+	}
+	return NewScenario(opts...)
+}
+
+// PlanResponse is the body of POST /v1/plan.
+type PlanResponse struct {
+	Key                 string  `json:"key"`
+	Strategy            string  `json:"strategy"`
+	Workflow            string  `json:"workflow"`
+	Tasks               int     `json:"tasks"`
+	ExpectedMakespan    float64 `json:"expected_makespan"`
+	FailureFreeMakespan float64 `json:"failure_free_makespan"`
+	Checkpoints         int     `json:"checkpoints"`
+	Superchains         int     `json:"superchains"`
+	Segments            int     `json:"segments"`
+}
+
+// EstimateRequest is the body of POST /v1/estimate.
+type EstimateRequest struct {
+	ScenarioRequest
+	Method   string `json:"method"`
+	MCTrials int    `json:"mc_trials,omitempty"`
+	MCSeed   *int64 `json:"mc_seed,omitempty"`
+	Workers  int    `json:"workers,omitempty"`
+}
+
+// EstimateResponse is the body of POST /v1/estimate.
+type EstimateResponse struct {
+	Key              string  `json:"key"`
+	Method           string  `json:"method"`
+	ExpectedMakespan float64 `json:"expected_makespan"`
+}
+
+// SimulateRequest is the body of POST /v1/simulate.
+type SimulateRequest struct {
+	ScenarioRequest
+	Trials  int    `json:"trials,omitempty"`
+	SimSeed *int64 `json:"sim_seed,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+}
+
+// SimulateResponse is the body of POST /v1/simulate.
+type SimulateResponse struct {
+	Key          string  `json:"key"`
+	Trials       int     `json:"trials"`
+	Mean         float64 `json:"mean"`
+	StdDev       float64 `json:"stddev"`
+	CI95         float64 `json:"ci95"`
+	MeanFailures float64 `json:"mean_failures"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Cache  Stats  `json:"cache"`
+}
+
+// maxRequestBody bounds /v1 request bodies (workflow documents
+// included) to keep a misbehaving client from exhausting memory.
+const maxRequestBody = 16 << 20
+
+// maxHTTPTrials bounds per-request Monte Carlo / simulation trial
+// counts: the samplers allocate one float64 per trial, so an unbounded
+// count would let a single small request allocate tens of GB inside the
+// long-lived daemon. 10M trials ≈ 80 MB, far beyond any accuracy need
+// (the paper's ground truth uses 300k).
+const maxHTTPTrials = 10_000_000
+
+// checkTrials rejects per-request trial counts the daemon is unwilling
+// to allocate. Zero means "use the default" and passes.
+func checkTrials(n int) error {
+	if n > maxHTTPTrials {
+		return fmt.Errorf("%w: %d trials above the daemon limit of %d", ErrBadScenario, n, maxHTTPTrials)
+	}
+	return nil
+}
+
+// NewHandler exposes svc over HTTP/JSON:
+//
+//	POST /v1/plan      — plan a scenario, returns the plan summary
+//	POST /v1/estimate  — plan + estimate with a chosen method
+//	POST /v1/simulate  — plan + discrete-event simulation summary
+//	GET  /healthz      — liveness plus cache statistics
+//
+// Responses are deterministic functions of the request, so a cache hit
+// is byte-identical to the cold miss that filled it; the X-Cache
+// response header (hit | miss) is the only difference.
+func NewHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Cache: svc.Stats()})
+	})
+	mux.HandleFunc("/v1/plan", func(w http.ResponseWriter, r *http.Request) {
+		var req ScenarioRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		sc := req.Scenario()
+		plan, key, hit, err := planOnce(r.Context(), svc, sc)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("X-Cache", cacheHeader(hit))
+		writeJSON(w, http.StatusOK, planResponse(key, plan))
+	})
+	mux.HandleFunc("/v1/estimate", func(w http.ResponseWriter, r *http.Request) {
+		var req EstimateRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		sc := req.Scenario()
+		plan, key, hit, err := planOnce(r.Context(), svc, sc)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		if err := checkTrials(req.MCTrials); err != nil {
+			writeError(w, err)
+			return
+		}
+		var opts []EstimateOption
+		if req.MCTrials != 0 {
+			opts = append(opts, WithMCTrials(req.MCTrials))
+		}
+		if req.MCSeed != nil {
+			opts = append(opts, WithMCSeed(*req.MCSeed))
+		}
+		if req.Workers != 0 {
+			opts = append(opts, WithEstimateWorkers(req.Workers))
+		}
+		em, err := plan.Estimate(r.Context(), Method(req.Method), opts...)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("X-Cache", cacheHeader(hit))
+		writeJSON(w, http.StatusOK, EstimateResponse{Key: key, Method: req.Method, ExpectedMakespan: em})
+	})
+	mux.HandleFunc("/v1/simulate", func(w http.ResponseWriter, r *http.Request) {
+		var req SimulateRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		sc := req.Scenario()
+		plan, key, hit, err := planOnce(r.Context(), svc, sc)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		if err := checkTrials(req.Trials); err != nil {
+			writeError(w, err)
+			return
+		}
+		var opts []SimOption
+		if req.Trials != 0 {
+			opts = append(opts, WithSimTrials(req.Trials))
+		}
+		if req.SimSeed != nil {
+			opts = append(opts, WithSimSeed(*req.SimSeed))
+		}
+		if req.Workers != 0 {
+			opts = append(opts, WithSimWorkers(req.Workers))
+		}
+		res, err := plan.Simulate(r.Context(), opts...)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("X-Cache", cacheHeader(hit))
+		writeJSON(w, http.StatusOK, SimulateResponse{
+			Key: key, Trials: res.Trials,
+			Mean: res.Mean, StdDev: res.StdDev, CI95: res.CI95, MeanFailures: res.MeanFailures,
+		})
+	})
+	return mux
+}
+
+// planOnce validates, hashes and plans a request scenario, computing
+// the canonical key exactly once (it hashes the full injected document,
+// so recomputing it per response field would double the cost).
+func planOnce(ctx context.Context, svc *Service, sc Scenario) (*Plan, string, bool, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, "", false, err
+	}
+	key := sc.Key()
+	plan, hit, err := svc.planForKey(ctx, sc, key)
+	return plan, key, hit, err
+}
+
+func planResponse(key string, p *Plan) PlanResponse {
+	return PlanResponse{
+		Key:                 key,
+		Strategy:            string(p.Strategy()),
+		Workflow:            p.Workflow().Name,
+		Tasks:               p.Workflow().Tasks,
+		ExpectedMakespan:    p.ExpectedMakespan(),
+		FailureFreeMakespan: p.FailureFreeMakespan(),
+		Checkpoints:         p.NumCheckpoints(),
+		Superchains:         p.NumSuperchains(),
+		Segments:            p.NumSegments(),
+	}
+}
+
+func cacheHeader(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// readJSON decodes a POST body into dst, writing the error response
+// itself when the request is unusable.
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "use POST"})
+		return false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return false
+	}
+	if len(body) > maxRequestBody {
+		writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{"error": "request body over 16 MiB"})
+		return false
+	}
+	if len(body) == 0 {
+		body = []byte("{}")
+	}
+	if err := json.Unmarshal(body, dst); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+// writeError maps façade errors onto HTTP statuses: invalid input is
+// the client's fault (400), a structurally impossible workflow is 422,
+// a cancelled request 499-style 503, anything else 500.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadScenario), errors.Is(err, ErrParse),
+		errors.Is(err, ErrUnknownMethod), errors.Is(err, ErrUnknownStrategy):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrNotMSPG):
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}

@@ -1,0 +1,202 @@
+package hanccr
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func postJSON(t *testing.T, client *http.Client, url, body string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(blob), resp.Header
+}
+
+// TestHTTPPlanCacheHitByteIdentical drives cmd/serve's handler through
+// httptest: the response body of a cache hit must be byte-identical to
+// the cold miss that filled it — only the X-Cache header differs.
+func TestHTTPPlanCacheHitByteIdentical(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewService()))
+	defer srv.Close()
+	req := `{"family":"genome","tasks":40,"procs":3,"seed":7}`
+
+	status, cold, hdr := postJSON(t, srv.Client(), srv.URL+"/v1/plan", req)
+	if status != http.StatusOK {
+		t.Fatalf("cold plan: %d %s", status, cold)
+	}
+	if got := hdr.Get("X-Cache"); got != "miss" {
+		t.Fatalf("cold X-Cache = %q", got)
+	}
+	status, warm, hdr := postJSON(t, srv.Client(), srv.URL+"/v1/plan", req)
+	if status != http.StatusOK {
+		t.Fatalf("warm plan: %d %s", status, warm)
+	}
+	if got := hdr.Get("X-Cache"); got != "hit" {
+		t.Fatalf("warm X-Cache = %q", got)
+	}
+	if cold != warm {
+		t.Fatalf("hit body differs from miss:\ncold: %s\nwarm: %s", cold, warm)
+	}
+	var pr PlanResponse
+	if err := json.Unmarshal([]byte(cold), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Strategy != "CkptSome" || pr.ExpectedMakespan <= 0 || pr.Key == "" {
+		t.Fatalf("implausible plan response: %+v", pr)
+	}
+}
+
+// TestHTTPConcurrentMixedTraffic exercises the daemon under concurrent
+// mixed plan/estimate/simulate traffic (run with -race via make check)
+// and verifies every response — hit or miss, whatever the interleaving —
+// is byte-identical to the serial reference answer for its request.
+func TestHTTPConcurrentMixedTraffic(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewService(WithCacheCapacity(4))))
+	defer srv.Close()
+
+	requests := []struct{ path, body string }{
+		{"/v1/plan", `{"family":"genome","tasks":40,"procs":3,"seed":7}`},
+		{"/v1/plan", `{"family":"montage","tasks":40,"procs":3,"seed":7,"strategy":"CkptAll"}`},
+		{"/v1/plan", `{"family":"ligo","tasks":40,"procs":3,"seed":7,"strategy":"CkptNone"}`},
+		{"/v1/estimate", `{"family":"genome","tasks":40,"procs":3,"seed":7,"method":"Dodin"}`},
+		{"/v1/estimate", `{"family":"montage","tasks":40,"procs":3,"seed":7,"method":"MonteCarlo","mc_trials":2000,"workers":2}`},
+		{"/v1/simulate", `{"family":"genome","tasks":40,"procs":3,"seed":7,"trials":200,"workers":2}`},
+		{"/v1/simulate", `{"family":"cybershake","tasks":40,"procs":3,"seed":7,"trials":200}`},
+	}
+	// Serial reference pass on a fresh service.
+	refSrv := httptest.NewServer(NewHandler(NewService()))
+	defer refSrv.Close()
+	refs := make([]string, len(requests))
+	for i, r := range requests {
+		status, body, _ := postJSON(t, refSrv.Client(), refSrv.URL+r.path, r.body)
+		if status != http.StatusOK {
+			t.Fatalf("reference %s: %d %s", r.path, status, body)
+		}
+		refs[i] = body
+	}
+
+	const goroutines = 8
+	const iters = 20
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				i := (g*3 + it) % len(requests)
+				r := requests[i]
+				resp, err := srv.Client().Post(srv.URL+r.path, "application/json", strings.NewReader(r.body))
+				if err != nil {
+					errc <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("%s: %d %s", r.path, resp.StatusCode, body)
+					return
+				}
+				if !bytes.Equal(body, []byte(refs[i])) {
+					errc <- fmt.Errorf("%s response differs from serial reference:\ngot:  %s\nwant: %s", r.path, body, refs[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestHTTPHealthz checks liveness plus cache statistics plumbing.
+func TestHTTPHealthz(t *testing.T) {
+	svc := NewService()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+	postJSON(t, srv.Client(), srv.URL+"/v1/plan", `{"family":"genome","tasks":40,"procs":3}`)
+
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hr HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "ok" || hr.Cache.Entries != 1 || hr.Cache.Misses != 1 {
+		t.Fatalf("healthz = %+v", hr)
+	}
+}
+
+// TestHTTPErrorStatuses pins the error contract of the API.
+func TestHTTPErrorStatuses(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewService()))
+	defer srv.Close()
+	cases := []struct {
+		path, body string
+		status     int
+	}{
+		{"/v1/plan", `{"family":"nope"}`, http.StatusBadRequest},
+		{"/v1/plan", `{"procs":-1}`, http.StatusBadRequest},
+		{"/v1/plan", `{"strategy":"CkptMaybe"}`, http.StatusBadRequest},
+		{"/v1/plan", `not json`, http.StatusBadRequest},
+		{"/v1/plan", fmt.Sprintf(`{"workflow_json":%s}`, nonMSPGDoc), http.StatusUnprocessableEntity},
+		{"/v1/estimate", `{"family":"genome","tasks":40,"procs":3,"method":"Oracle"}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		status, body, _ := postJSON(t, srv.Client(), srv.URL+tc.path, tc.body)
+		if status != tc.status {
+			t.Errorf("%s %s: status %d, want %d (%s)", tc.path, tc.body, status, tc.status, body)
+		}
+		if !strings.Contains(body, "error") {
+			t.Errorf("%s: error body missing error field: %s", tc.path, body)
+		}
+	}
+	// Non-POST on /v1 endpoints.
+	resp, err := srv.Client().Get(srv.URL + "/v1/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/plan: %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestHTTPNegativeTrialsRejected pins the 400 contract for nonsense
+// trial counts (previously a 200 with zeroed fields).
+func TestHTTPNegativeTrialsRejected(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewService()))
+	defer srv.Close()
+	for _, tc := range []struct{ path, body string }{
+		{"/v1/simulate", `{"family":"genome","tasks":40,"procs":3,"trials":-5}`},
+		{"/v1/estimate", `{"family":"genome","tasks":40,"procs":3,"method":"MonteCarlo","mc_trials":-1}`},
+	} {
+		status, body, _ := postJSON(t, srv.Client(), srv.URL+tc.path, tc.body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s %s: status %d, want 400 (%s)", tc.path, tc.body, status, body)
+		}
+	}
+}

@@ -1,7 +1,8 @@
-package repro
+package hanccr
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"os"
 	"os/exec"
@@ -34,7 +35,7 @@ func TestIntegrationMatrix(t *testing.T) {
 				}
 				pf := platform.New(5, 0, 1e8).WithLambdaForPFail(0.001, w.G)
 				pf.ScaleToCCR(w.G, 0.05)
-				res, err := core.Run(w, pf, core.Config{Strategy: strat, Model: model, Seed: 11})
+				res, err := core.Run(context.Background(), w, pf, core.Config{Strategy: strat, Model: model, Seed: 11})
 				if err != nil {
 					t.Fatalf("%s/%s/%s: %v", fam, strat, model, err)
 				}
@@ -46,7 +47,7 @@ func TestIntegrationMatrix(t *testing.T) {
 					continue
 				}
 				// The DES agrees with the analytic estimate at this λ.
-				s, err := sim.EstimateExpected(res.Plan, 400, 11, 0)
+				s, err := sim.EstimateExpected(context.Background(), res.Plan, 400, 11, 0)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -67,7 +68,7 @@ func TestIntegrationSerializationPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	pf := platform.New(7, 0, 1e8).WithLambdaForPFail(0.001, w.G)
-	base, err := core.Run(w, pf, core.Config{Seed: 13})
+	base, err := core.Run(context.Background(), w, pf, core.Config{Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestIntegrationSerializationPipeline(t *testing.T) {
 	if err != nil || redundant != 0 {
 		t.Fatalf("recognition after JSON: %v (%d redundant)", err, redundant)
 	}
-	again, err := core.Run(w2, pf, core.Config{Seed: 13})
+	again, err := core.Run(context.Background(), w2, pf, core.Config{Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestIntegrationSerializationPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	third, err := core.Run(w3, pf, core.Config{Seed: 13})
+	third, err := core.Run(context.Background(), w3, pf, core.Config{Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestIntegrationPaperHeadlines(t *testing.T) {
 		}
 		pf := platform.New(35, 0, 1e8).WithLambdaForPFail(pfail, w.G)
 		pf.ScaleToCCR(w.G, ccr)
-		cmp, err := core.Compare(w, pf, core.Config{Seed: 42})
+		cmp, err := core.Compare(context.Background(), w, pf, core.Config{Seed: 42})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -218,5 +219,46 @@ func TestIntegrationPaperHeadlines(t *testing.T) {
 	_, cheapNone := check("montage", 1e-3, 0.01)
 	if cheapNone < 1.5 {
 		t.Fatalf("CkptNone should lose clearly at tiny CCR, pfail=0.01: %g", cheapNone)
+	}
+}
+
+// TestIntegrationCLIExitCodes drives cmd/evalmk and cmd/schedule as real
+// processes against broken inputs and checks the documented exit-code
+// contract: 2 for a workflow parse failure, 3 for a structurally valid
+// workflow that is not an M-SPG.
+func TestIntegrationCLIExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs child processes")
+	}
+	dir := t.TempDir()
+	malformed := filepath.Join(dir, "broken.json")
+	if err := os.WriteFile(malformed, []byte(`{"tasks": [}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	notMSPG := filepath.Join(dir, "diamond.json")
+	if err := os.WriteFile(notMSPG, []byte(nonMSPGDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"evalmk", "schedule"} {
+		bin := buildBinary(t, dir, name)
+		for _, tc := range []struct {
+			input string
+			code  int
+		}{
+			{malformed, 2},
+			{notMSPG, 3},
+		} {
+			out, err := exec.Command(bin, "-input", tc.input).CombinedOutput()
+			if err == nil {
+				t.Fatalf("%s -input %s: expected failure, got:\n%s", name, tc.input, out)
+			}
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if got := ee.ExitCode(); got != tc.code {
+				t.Fatalf("%s -input %s: exit %d, want %d\n%s", name, tc.input, got, tc.code, out)
+			}
+		}
 	}
 }

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -65,13 +66,17 @@ type Result struct {
 }
 
 // Run schedules w on pf and applies the configured strategy, returning
-// the plan and its estimated expected makespan.
-func Run(w *mspg.Workflow, pf platform.Platform, cfg Config) (*Result, error) {
+// the plan and its estimated expected makespan. ctx is observed between
+// pipeline stages and inside the parallel fan-outs.
+func Run(ctx context.Context, w *mspg.Workflow, pf platform.Platform, cfg Config) (*Result, error) {
 	if cfg.Strategy == "" {
 		cfg.Strategy = ckpt.CkptSome
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	s, err := sched.Allocate(w, pf, sched.Options{
 		Linearize: cfg.Linearize,
@@ -80,13 +85,16 @@ func Run(w *mspg.Workflow, pf platform.Platform, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: scheduling failed: %w", err)
 	}
-	return RunOnSchedule(s, pf, cfg)
+	return RunOnSchedule(ctx, s, pf, cfg)
 }
 
 // RunOnSchedule applies the configured strategy to an existing schedule,
 // so that several strategies can be compared on the same superchains
 // (as the paper's evaluation does).
-func RunOnSchedule(s *sched.Schedule, pf platform.Platform, cfg Config) (*Result, error) {
+func RunOnSchedule(ctx context.Context, s *sched.Schedule, pf platform.Platform, cfg Config) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if cfg.Strategy == "" {
 		cfg.Strategy = ckpt.CkptSome
 	}
@@ -134,7 +142,7 @@ func (c Comparison) RelNone() float64 { return c.None.ExpectedMakespan / c.Some.
 // cfg.Workers above 1 the three strategies are planned and evaluated
 // concurrently (plan building only reads the schedule); the result is
 // identical either way.
-func Compare(w *mspg.Workflow, pf platform.Platform, cfg Config) (Comparison, error) {
+func Compare(ctx context.Context, w *mspg.Workflow, pf platform.Platform, cfg Config) (Comparison, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
@@ -151,10 +159,10 @@ func Compare(w *mspg.Workflow, pf platform.Platform, cfg Config) (Comparison, er
 	if workers == 0 {
 		workers = 1
 	}
-	err = par.ForEach(workers, len(strategies), func(i int) error {
+	err = par.ForEachCtx(ctx, workers, len(strategies), func(i int) error {
 		c := cfg
 		c.Strategy = strategies[i]
-		r, err := RunOnSchedule(s, pf, c)
+		r, err := RunOnSchedule(ctx, s, pf, c)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -24,7 +25,7 @@ func setup(t *testing.T, fam string, tasks, procs int, pfail, ccr float64) (*msp
 
 func TestRunDefaultsToCkptSome(t *testing.T) {
 	w, pf := setup(t, "genome", 100, 5, 0.001, 0.01)
-	res, err := Run(w, pf, Config{})
+	res, err := Run(context.Background(), w, pf, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestRunDefaultsToCkptSome(t *testing.T) {
 func TestRunAllStrategies(t *testing.T) {
 	w, pf := setup(t, "montage", 100, 7, 0.001, 0.1)
 	for _, strat := range []ckpt.Strategy{ckpt.CkptSome, ckpt.CkptAll, ckpt.CkptNone, ckpt.ExitOnly} {
-		res, err := Run(w, pf, Config{Strategy: strat})
+		res, err := Run(context.Background(), w, pf, Config{Strategy: strat})
 		if err != nil {
 			t.Fatalf("%s: %v", strat, err)
 		}
@@ -56,7 +57,7 @@ func TestRunAllEstimators(t *testing.T) {
 	w, pf := setup(t, "genome", 100, 5, 0.001, 0.01)
 	var values []float64
 	for _, est := range []ckpt.Estimator{ckpt.EstPathApprox, ckpt.EstMonteCarlo, ckpt.EstNormal, ckpt.EstDodin} {
-		res, err := Run(w, pf, Config{Estimator: est, MCTrials: 20000})
+		res, err := Run(context.Background(), w, pf, Config{Estimator: est, MCTrials: 20000})
 		if err != nil {
 			t.Fatalf("%s: %v", est, err)
 		}
@@ -71,7 +72,7 @@ func TestRunAllEstimators(t *testing.T) {
 
 func TestCompareSharedSchedule(t *testing.T) {
 	w, pf := setup(t, "ligo", 120, 7, 0.001, 0.05)
-	cmp, err := Compare(w, pf, Config{})
+	cmp, err := Compare(context.Background(), w, pf, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,11 +94,11 @@ func TestRunOnScheduleReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := RunOnSchedule(s, pf, Config{Strategy: ckpt.CkptSome})
+	a, err := RunOnSchedule(context.Background(), s, pf, Config{Strategy: ckpt.CkptSome})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunOnSchedule(s, pf, Config{Strategy: ckpt.CkptSome})
+	b, err := RunOnSchedule(context.Background(), s, pf, Config{Strategy: ckpt.CkptSome})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,12 +109,12 @@ func TestRunOnScheduleReuse(t *testing.T) {
 
 func TestRunDeterministicAcrossCalls(t *testing.T) {
 	w1, pf1 := setup(t, "montage", 150, 7, 0.001, 0.1)
-	r1, err := Run(w1, pf1, Config{Seed: 5})
+	r1, err := Run(context.Background(), w1, pf1, Config{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
 	w2, pf2 := setup(t, "montage", 150, 7, 0.001, 0.1)
-	r2, err := Run(w2, pf2, Config{Seed: 5})
+	r2, err := Run(context.Background(), w2, pf2, Config{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,12 +125,12 @@ func TestRunDeterministicAcrossCalls(t *testing.T) {
 
 func TestSeedChangesLinearization(t *testing.T) {
 	w1, pf1 := setup(t, "montage", 150, 7, 0.001, 0.1)
-	r1, err := Run(w1, pf1, Config{Seed: 5})
+	r1, err := Run(context.Background(), w1, pf1, Config{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
 	w2, pf2 := setup(t, "montage", 150, 7, 0.001, 0.1)
-	r2, err := Run(w2, pf2, Config{Seed: 6})
+	r2, err := Run(context.Background(), w2, pf2, Config{Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestMoreFailuresMoreCheckpoints(t *testing.T) {
 	first := true
 	for _, pfail := range []float64{0.0001, 0.001, 0.01, 0.1} {
 		w, pf := setup(t, "genome", 200, 5, pfail, 0.05)
-		res, err := Run(w, pf, Config{Seed: 7})
+		res, err := Run(context.Background(), w, pf, Config{Seed: 7})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -165,7 +166,7 @@ func TestCheaperIOMoreCheckpoints(t *testing.T) {
 	first := true
 	for _, ccr := range []float64{1, 0.1, 0.01, 0.001} {
 		w, pf := setup(t, "montage", 200, 7, 0.001, ccr)
-		res, err := Run(w, pf, Config{Seed: 7})
+		res, err := Run(context.Background(), w, pf, Config{Seed: 7})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -179,12 +180,12 @@ func TestCheaperIOMoreCheckpoints(t *testing.T) {
 
 func TestCompareParallelMatchesSerial(t *testing.T) {
 	w, pf := setup(t, "montage", 80, 5, 0.001, 0.05)
-	serial, err := Compare(w, pf, Config{Seed: 7, Workers: 1})
+	serial, err := Compare(context.Background(), w, pf, Config{Seed: 7, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{-1, 3, 8} {
-		par, err := Compare(w, pf, Config{Seed: 7, Workers: workers})
+		par, err := Compare(context.Background(), w, pf, Config{Seed: 7, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}

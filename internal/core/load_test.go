@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/ckpt"
+	"repro/internal/mspg"
 	"repro/internal/pegasus"
 	"repro/internal/platform"
 )
@@ -46,7 +49,7 @@ func TestLoadWorkflowJSONRoundTrip(t *testing.T) {
 	}
 	// And the loaded workflow is fully plannable.
 	pf := platform.New(5, 0, 1e8).WithLambdaForPFail(0.001, loaded.G)
-	res, err := Run(loaded, pf, Config{Strategy: ckpt.CkptSome})
+	res, err := Run(context.Background(), loaded, pf, Config{Strategy: ckpt.CkptSome})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +107,7 @@ func TestLoadWorkflowGSPGFallback(t *testing.T) {
 		t.Fatalf("redundant = %d, want 1", redundant)
 	}
 	pf := platform.New(2, 1e-4, 1)
-	res, err := Run(w, pf, Config{})
+	res, err := Run(context.Background(), w, pf, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,5 +145,66 @@ func TestLoadWorkflowErrors(t *testing.T) {
 	}`)
 	if _, _, err := LoadWorkflow(ngraph); err == nil {
 		t.Fatal("N-graph must be rejected")
+	}
+}
+
+// TestLoadWorkflowParseErrorTyped pins the typed-error contract: decode
+// failures surface as *ParseError with file and position context, while
+// recognition failures keep the *mspg.NotMSPGError type — callers (the
+// CLIs' exit codes, the façade's ErrParse/ErrNotMSPG mapping) tell the
+// two apart with errors.As.
+func TestLoadWorkflowParseErrorTyped(t *testing.T) {
+	// JSON syntax error: offset recorded, line unknown.
+	bad := writeTemp(t, "bad.json", "{\"tasks\": [}")
+	_, _, err := LoadWorkflow(bad)
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("malformed JSON: got %T (%v), want *ParseError", err, err)
+	}
+	if pe.Path != bad || pe.Offset == 0 {
+		t.Fatalf("ParseError context = %+v, want path %q and a byte offset", pe, bad)
+	}
+
+	// XML syntax error: 1-based line recorded.
+	dax := writeTemp(t, "bad.dax", "<adag>\n<job id=\"a\"\n</adag>")
+	_, _, err = LoadWorkflow(dax)
+	pe = nil
+	if !errors.As(err, &pe) {
+		t.Fatalf("malformed DAX: got %T (%v), want *ParseError", err, err)
+	}
+	if pe.Line == 0 {
+		t.Fatalf("DAX ParseError carries no line: %+v", pe)
+	}
+
+	// Unsupported extension is a parse failure too.
+	txt := writeTemp(t, "wf.txt", "nope")
+	if _, _, err := LoadWorkflow(txt); !errors.As(err, &pe) {
+		t.Fatalf("unsupported extension: got %T, want *ParseError", err)
+	}
+
+	// A well-formed document that is not an M-SPG is NOT a ParseError.
+	ngraph := writeTemp(t, "n2.json", `{
+	  "tasks": [
+	    {"id":0,"name":"a","weight":1},
+	    {"id":1,"name":"b","weight":1},
+	    {"id":2,"name":"c","weight":1},
+	    {"id":3,"name":"d","weight":1}
+	  ],
+	  "files": [
+	    {"id":0,"name":"f0","size":1,"producer":0,"consumers":[2]},
+	    {"id":1,"name":"f1","size":1,"producer":1,"consumers":[2]},
+	    {"id":2,"name":"f2","size":1,"producer":1,"consumers":[3]}
+	  ]
+	}`)
+	_, _, err = LoadWorkflow(ngraph)
+	if err == nil {
+		t.Fatal("N-graph must be rejected")
+	}
+	if errors.As(err, &pe) {
+		t.Fatalf("recognition failure mis-typed as ParseError: %v", err)
+	}
+	var notMSPG *mspg.NotMSPGError
+	if !errors.As(err, &notMSPG) {
+		t.Fatalf("recognition failure lost its type: %T (%v)", err, err)
 	}
 }

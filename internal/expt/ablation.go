@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -69,8 +70,11 @@ func (c AblationConfig) withDefaults() AblationConfig {
 // exit-only checkpointing (the §II-C "naive solution"), periodic
 // checkpointing with several periods, and checkpoint-everything, all on
 // the same schedule.
-func AblateCheckpointPlacement(cfg AblationConfig) ([]AblationRow, error) {
+func AblateCheckpointPlacement(ctx context.Context, cfg AblationConfig) ([]AblationRow, error) {
 	cfg = cfg.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	w, err := pegasus.CachedGenerate(cfg.Family, pegasus.Options{Tasks: cfg.Tasks, Seed: cfg.Seed})
 	if err != nil {
 		return nil, err
@@ -94,6 +98,9 @@ func AblateCheckpointPlacement(cfg AblationConfig) ([]AblationRow, error) {
 	}
 	rows := []AblationRow{rowFor(cfg, "A1-checkpoint-placement", "DP (CkptSome)", someEM, someEM)}
 	for _, strat := range []ckpt.Strategy{ckpt.ExitOnly, ckpt.CkptAll} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		p, err := ckpt.BuildPlan(s, pf, strat)
 		if err != nil {
 			return nil, err
@@ -105,6 +112,9 @@ func AblateCheckpointPlacement(cfg AblationConfig) ([]AblationRow, error) {
 		rows = append(rows, rowFor(cfg, "A1-checkpoint-placement", string(strat), em, someEM))
 	}
 	for _, k := range []int{2, 5, 10} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		p, err := ckpt.PeriodicPlan(s, pf, k)
 		if err != nil {
 			return nil, err
@@ -120,7 +130,7 @@ func AblateCheckpointPlacement(cfg AblationConfig) ([]AblationRow, error) {
 
 // AblateMapping (A2) compares PropMap against a single-processor
 // schedule, quantifying what proportional mapping buys.
-func AblateMapping(cfg AblationConfig) ([]AblationRow, error) {
+func AblateMapping(ctx context.Context, cfg AblationConfig) ([]AblationRow, error) {
 	cfg = cfg.withDefaults()
 	w, err := pegasus.CachedGenerate(cfg.Family, pegasus.Options{Tasks: cfg.Tasks, Seed: cfg.Seed})
 	if err != nil {
@@ -131,11 +141,11 @@ func AblateMapping(cfg AblationConfig) ([]AblationRow, error) {
 	pfOne := pfMulti
 	pfOne.Processors = 1
 
-	multi, err := core.Run(w, pfMulti, core.Config{Strategy: ckpt.CkptSome, Seed: cfg.Seed})
+	multi, err := core.Run(ctx, w, pfMulti, core.Config{Strategy: ckpt.CkptSome, Seed: cfg.Seed})
 	if err != nil {
 		return nil, err
 	}
-	single, err := core.Run(w, pfOne, core.Config{Strategy: ckpt.CkptSome, Seed: cfg.Seed})
+	single, err := core.Run(ctx, w, pfOne, core.Config{Strategy: ckpt.CkptSome, Seed: cfg.Seed})
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +158,7 @@ func AblateMapping(cfg AblationConfig) ([]AblationRow, error) {
 // AblateLinearization (A3) compares the paper's random topological sort
 // against the deterministic order and the live-file-volume greedy
 // heuristic (§VIII's future-work direction).
-func AblateLinearization(cfg AblationConfig) ([]AblationRow, error) {
+func AblateLinearization(ctx context.Context, cfg AblationConfig) ([]AblationRow, error) {
 	cfg = cfg.withDefaults()
 	variants := []struct {
 		name string
@@ -167,7 +177,7 @@ func AblateLinearization(cfg AblationConfig) ([]AblationRow, error) {
 		}
 		pf := platform.New(cfg.Procs, 0, cfg.Bandwidth).WithLambdaForPFail(cfg.PFail, w.G)
 		pf.ScaleToCCR(w.G, cfg.CCR)
-		res, err := core.Run(w, pf, core.Config{Strategy: ckpt.CkptSome, Seed: cfg.Seed, Linearize: v.lin})
+		res, err := core.Run(ctx, w, pf, core.Config{Strategy: ckpt.CkptSome, Seed: cfg.Seed, Linearize: v.lin})
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -81,7 +82,7 @@ const accuracyMethods = 4
 // and evaluates it with MonteCarlo (at the ground-truth trial count),
 // Dodin, Normal and PathApprox, recording relative errors and runtimes.
 // Cells run on the Engine worker pool with index-ordered collection.
-func RunAccuracy(cfg AccuracyConfig) ([]AccuracyRow, error) {
+func RunAccuracy(ctx context.Context, cfg AccuracyConfig) ([]AccuracyRow, error) {
 	cfg = cfg.withDefaults()
 	type cell struct {
 		family string
@@ -104,7 +105,7 @@ func RunAccuracy(cfg AccuracyConfig) ([]AccuracyRow, error) {
 	if len(cells) == 1 {
 		mcWorkers = cfg.Workers
 	}
-	err := Engine{Workers: cfg.Workers}.ForEach(len(cells), func(i int) error {
+	err := Engine{Workers: cfg.Workers}.ForEach(ctx, len(cells), func(i int) error {
 		c := cells[i]
 		procs := pegasus.PaperProcessorCounts(c.size)[1]
 		w, err := pegasus.CachedGenerate(c.family, pegasus.Options{Tasks: c.size, Seed: cfg.Seed})
@@ -113,7 +114,7 @@ func RunAccuracy(cfg AccuracyConfig) ([]AccuracyRow, error) {
 		}
 		pf := platform.New(procs, 0, cfg.Bandwidth).WithLambdaForPFail(c.pfail, w.G)
 		pf.ScaleToCCR(w.G, cfg.CCR)
-		res, err := core.Run(w, pf, core.Config{Strategy: ckpt.CkptSome, Seed: cfg.Seed})
+		res, err := core.Run(ctx, w, pf, core.Config{Strategy: ckpt.CkptSome, Seed: cfg.Seed})
 		if err != nil {
 			return err
 		}
@@ -121,7 +122,10 @@ func RunAccuracy(cfg AccuracyConfig) ([]AccuracyRow, error) {
 		if err != nil {
 			return err
 		}
-		truth := probdag.MonteCarloSeeded(g, cfg.TruthTrials, cfg.Seed, mcWorkers)
+		truth, err := probdag.MonteCarloSeededCtx(ctx, g, cfg.TruthTrials, cfg.Seed, mcWorkers)
+		if err != nil {
+			return err
+		}
 		base := AccuracyRow{Family: c.family, Tasks: c.size, Procs: procs, PFail: c.pfail, CCR: cfg.CCR,
 			Truth: truth.Mean, TruthCI95: truth.CI95}
 		return evalAll(g, base, cfg, rows[i*accuracyMethods:(i+1)*accuracyMethods])

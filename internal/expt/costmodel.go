@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/ckpt"
@@ -38,7 +39,7 @@ type CostModelRow struct {
 // exact model (e^{λS} − 1)/λ fixes the estimate; the experiment reports
 // both plans' DES-measured makespans and each model's self-prediction
 // gap.
-func AblateCostModel(cfg AblationConfig, trials int) ([]CostModelRow, error) {
+func AblateCostModel(ctx context.Context, cfg AblationConfig, trials int) ([]CostModelRow, error) {
 	cfg = cfg.withDefaults()
 	if trials == 0 {
 		trials = 1000
@@ -63,7 +64,7 @@ func AblateCostModel(cfg AblationConfig, trials int) ([]CostModelRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		sum, err := sim.EstimateExpected(plan, trials, cfg.Seed, cfg.Workers)
+		sum, err := sim.EstimateExpected(ctx, plan, trials, cfg.Seed, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,10 @@
 package expt
 
-import "repro/internal/par"
+import (
+	"context"
+
+	"repro/internal/par"
+)
 
 // Engine is the worker-pool grid executor behind RunSweep, RunAccuracy
 // and RunSimCheck: every experiment enumerates its full parameter grid
@@ -18,6 +22,6 @@ type Engine struct {
 // deterministic. On failure the error with the smallest index is
 // returned (matching what a serial loop that stops at the first error
 // would report) and remaining cells may be skipped.
-func (e Engine) ForEach(n int, fn func(i int) error) error {
-	return par.ForEach(e.Workers, n, fn)
+func (e Engine) ForEach(ctx context.Context, n int, fn func(i int) error) error {
+	return par.ForEachCtx(ctx, e.Workers, n, fn)
 }

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"sync/atomic"
@@ -11,7 +12,7 @@ func TestEngineForEachVisitsEveryIndex(t *testing.T) {
 	for _, workers := range []int{1, 3, 16} {
 		const n = 100
 		var hits [n]atomic.Int32
-		err := Engine{Workers: workers}.ForEach(n, func(i int) error {
+		err := Engine{Workers: workers}.ForEach(context.Background(), n, func(i int) error {
 			hits[i].Add(1)
 			return nil
 		})
@@ -29,7 +30,7 @@ func TestEngineForEachVisitsEveryIndex(t *testing.T) {
 func TestEngineForEachReportsSmallestIndexError(t *testing.T) {
 	bad3 := errors.New("cell 3")
 	bad7 := errors.New("cell 7")
-	err := Engine{Workers: 4}.ForEach(10, func(i int) error {
+	err := Engine{Workers: 4}.ForEach(context.Background(), 10, func(i int) error {
 		switch i {
 		case 3:
 			return bad3
@@ -41,7 +42,7 @@ func TestEngineForEachReportsSmallestIndexError(t *testing.T) {
 	if !errors.Is(err, bad3) {
 		t.Fatalf("err = %v, want the smallest failing index", err)
 	}
-	if err := (Engine{}).ForEach(0, func(int) error { t.Fatal("no cells"); return nil }); err != nil {
+	if err := (Engine{}).ForEach(context.Background(), 0, func(int) error { t.Fatal("no cells"); return nil }); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -62,13 +63,13 @@ func TestRunSweepParallelBitIdentical(t *testing.T) {
 		CCRMin: 1e-3, CCRMax: 1e-2, PointsPerDecade: 2, Seed: 3,
 	}
 	cfg.Workers = 1
-	serial, err := RunSweep(cfg)
+	serial, err := RunSweep(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 8} {
 		cfg.Workers = workers
-		par, err := RunSweep(cfg)
+		par, err := RunSweep(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,12 +85,12 @@ func TestRunAccuracyParallelBitIdentical(t *testing.T) {
 		PFails: []float64{0.001}, TruthTrials: 9000, Seed: 3,
 	}
 	cfg.Workers = 1
-	serial, err := RunAccuracy(cfg)
+	serial, err := RunAccuracy(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Workers = 4
-	par, err := RunAccuracy(cfg)
+	par, err := RunAccuracy(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,12 +105,12 @@ func TestRunSimCheckParallelBitIdentical(t *testing.T) {
 		PFails: []float64{0.001}, CCR: 0.01, Trials: 200, Seed: 3,
 	}
 	cfg.Workers = 1
-	serial, err := RunSimCheck(cfg)
+	serial, err := RunSimCheck(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Workers = 4
-	par, err := RunSimCheck(cfg)
+	par, err := RunSimCheck(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestSweepConfigProcsOverride(t *testing.T) {
 		CCRMin: 1e-3, CCRMax: 1e-2, PointsPerDecade: 2, Seed: 3,
 		Procs: []int{5},
 	}
-	rows, err := RunSweep(cfg)
+	rows, err := RunSweep(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package expt
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -39,7 +40,7 @@ func TestFigureConfig(t *testing.T) {
 
 func TestRunPointShapes(t *testing.T) {
 	cfg := FigureConfig("genome")
-	row, err := RunPoint(cfg, 50, 5, 0.001, 0.001)
+	row, err := RunPoint(context.Background(), cfg, 50, 5, 0.001, 0.001)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestRunSweepSmall(t *testing.T) {
 		Family: "genome", Sizes: []int{50}, PFails: []float64{0.001},
 		CCRMin: 1e-3, CCRMax: 1e-2, PointsPerDecade: 2, Seed: 3,
 	}
-	rows, err := RunSweep(cfg)
+	rows, err := RunSweep(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestWriteTable(t *testing.T) {
 }
 
 func TestRunSimCheckSmall(t *testing.T) {
-	rows, err := RunSimCheck(SimCheckConfig{
+	rows, err := RunSimCheck(context.Background(), SimCheckConfig{
 		Families: []string{"genome"}, Tasks: 50, Procs: 5,
 		PFails: []float64{0.001}, CCR: 0.01, Trials: 300, Seed: 3,
 	})
@@ -175,7 +176,7 @@ func TestRunSimCheckSmall(t *testing.T) {
 }
 
 func TestRunAccuracySmall(t *testing.T) {
-	rows, err := RunAccuracy(AccuracyConfig{
+	rows, err := RunAccuracy(context.Background(), AccuracyConfig{
 		Families: []string{"genome"}, Sizes: []int{50},
 		PFails: []float64{0.001}, TruthTrials: 20000, Seed: 3,
 	})
@@ -202,7 +203,7 @@ func TestRunAccuracySmall(t *testing.T) {
 
 func TestAblations(t *testing.T) {
 	cfg := AblationConfig{Family: "genome", Tasks: 80, Procs: 5, PFail: 0.01, CCR: 0.05, Seed: 3}
-	a1, err := AblateCheckpointPlacement(cfg)
+	a1, err := AblateCheckpointPlacement(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,14 +212,14 @@ func TestAblations(t *testing.T) {
 			t.Errorf("A1: variant %s beat the DP: %g", r.Variant, r.RelToSome)
 		}
 	}
-	a2, err := AblateMapping(cfg)
+	a2, err := AblateMapping(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(a2) != 2 || a2[1].RelToSome < 1 {
 		t.Errorf("A2: single processor should not beat PropMap: %+v", a2)
 	}
-	a3, err := AblateLinearization(cfg)
+	a3, err := AblateLinearization(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestDecisionTable(t *testing.T) {
 }
 
 func TestAblateCostModel(t *testing.T) {
-	rows, err := AblateCostModel(AblationConfig{Family: "genome", Tasks: 60, Procs: 5, PFail: 0.01, CCR: 0.05, Seed: 3}, 200)
+	rows, err := AblateCostModel(context.Background(), AblationConfig{Family: "genome", Tasks: 60, Procs: 5, PFail: 0.01, CCR: 0.05, Seed: 3}, 200)
 	if err != nil {
 		t.Fatal(err)
 	}

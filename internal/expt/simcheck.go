@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -81,7 +82,7 @@ var simCheckStrategies = []ckpt.Strategy{ckpt.CkptSome, ckpt.CkptAll, ckpt.CkptN
 // the gap widens as λ·(segment span) grows — exactly the Θ(λ²) terms the
 // paper drops. (family, pfail) cells run on the Engine worker pool; the
 // three strategies of one cell stay serial on one shared workflow.
-func RunSimCheck(cfg SimCheckConfig) ([]SimCheckRow, error) {
+func RunSimCheck(ctx context.Context, cfg SimCheckConfig) ([]SimCheckRow, error) {
 	cfg = cfg.withDefaults()
 	type cell struct {
 		family string
@@ -102,7 +103,7 @@ func RunSimCheck(cfg SimCheckConfig) ([]SimCheckRow, error) {
 	if len(cells) == 1 {
 		simWorkers = cfg.Workers
 	}
-	err := Engine{Workers: cfg.Workers}.ForEach(len(cells), func(i int) error {
+	err := Engine{Workers: cfg.Workers}.ForEach(ctx, len(cells), func(i int) error {
 		c := cells[i]
 		w, err := pegasus.CachedGenerate(c.family, pegasus.Options{Tasks: cfg.Tasks, Seed: cfg.Seed})
 		if err != nil {
@@ -111,19 +112,19 @@ func RunSimCheck(cfg SimCheckConfig) ([]SimCheckRow, error) {
 		pf := platform.New(cfg.Procs, 0, cfg.Bandwidth).WithLambdaForPFail(c.pfail, w.G)
 		pf.ScaleToCCR(w.G, cfg.CCR)
 		for j, strat := range simCheckStrategies {
-			res, err := core.Run(w, pf, core.Config{Strategy: strat, Seed: cfg.Seed})
+			res, err := core.Run(ctx, w, pf, core.Config{Strategy: strat, Seed: cfg.Seed})
 			if err != nil {
 				return err
 			}
 			var s dist.Summary
 			var fails float64
 			if strat == ckpt.CkptNone {
-				s, fails = sim.EstimateExpectedNoneDetail(res.Schedule, pf, cfg.Trials, cfg.Seed, simWorkers)
+				s, fails, err = sim.EstimateExpectedNoneDetail(ctx, res.Schedule, pf, cfg.Trials, cfg.Seed, simWorkers)
 			} else {
-				s, fails, err = sim.EstimateExpectedDetail(res.Plan, cfg.Trials, cfg.Seed, simWorkers)
-				if err != nil {
-					return err
-				}
+				s, fails, err = sim.EstimateExpectedDetail(ctx, res.Plan, cfg.Trials, cfg.Seed, simWorkers)
+			}
+			if err != nil {
+				return err
 			}
 			rows[i*nstrat+j] = SimCheckRow{
 				Family: c.family, Tasks: cfg.Tasks, Procs: cfg.Procs, PFail: c.pfail, CCR: cfg.CCR,

@@ -13,6 +13,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -151,13 +152,13 @@ func (c SweepConfig) enumerate() []gridPoint {
 // shared schedule with PathApprox (the method of choice per §VI-B).
 // Cells run on the Engine worker pool; rows come back in grid order
 // regardless of the worker count.
-func RunSweep(cfg SweepConfig) ([]Row, error) {
+func RunSweep(ctx context.Context, cfg SweepConfig) ([]Row, error) {
 	cfg = cfg.withDefaults()
 	pts := cfg.enumerate()
 	rows := make([]Row, len(pts))
-	err := Engine{Workers: cfg.Workers}.ForEach(len(pts), func(i int) error {
+	err := Engine{Workers: cfg.Workers}.ForEach(ctx, len(pts), func(i int) error {
 		p := pts[i]
-		row, err := RunPoint(cfg, p.size, p.procs, p.pfail, p.ccr)
+		row, err := RunPoint(ctx, cfg, p.size, p.procs, p.pfail, p.ccr)
 		if err != nil {
 			return err
 		}
@@ -171,7 +172,7 @@ func RunSweep(cfg SweepConfig) ([]Row, error) {
 }
 
 // RunPoint evaluates a single grid point.
-func RunPoint(cfg SweepConfig, size, procs int, pfail, ccr float64) (Row, error) {
+func RunPoint(ctx context.Context, cfg SweepConfig, size, procs int, pfail, ccr float64) (Row, error) {
 	cfg = cfg.withDefaults()
 	w, err := pegasus.CachedGenerate(cfg.Family, pegasus.Options{Tasks: size, Seed: cfg.Seed, Ragged: cfg.Ragged})
 	if err != nil {
@@ -179,7 +180,7 @@ func RunPoint(cfg SweepConfig, size, procs int, pfail, ccr float64) (Row, error)
 	}
 	pf := platform.New(procs, 0, cfg.Bandwidth).WithLambdaForPFail(pfail, w.G)
 	pf.ScaleToCCR(w.G, ccr)
-	cmp, err := core.Compare(w, pf, core.Config{Estimator: ckpt.EstPathApprox, Seed: cfg.Seed})
+	cmp, err := core.Compare(ctx, w, pf, core.Config{Estimator: ckpt.EstPathApprox, Seed: cfg.Seed})
 	if err != nil {
 		return Row{}, fmt.Errorf("expt: %s n=%d p=%d pfail=%g ccr=%g: %w", cfg.Family, size, procs, pfail, ccr, err)
 	}

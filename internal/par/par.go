@@ -6,6 +6,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -18,7 +19,15 @@ import (
 // returned (what a serial loop stopping at the first error reports) and
 // remaining items may be skipped.
 func ForEach(workers, n int, fn func(i int) error) error {
-	return ForEachWith(workers, n,
+	return ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach under a context: cancellation is observed
+// between work items on every worker, remaining items are skipped, and
+// the context's error is returned (unless an earlier item already
+// failed at a smaller index).
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return ForEachWithCtx(ctx, workers, n,
 		func() struct{} { return struct{}{} },
 		func(_ struct{}, i int) error { return fn(i) })
 }
@@ -29,8 +38,15 @@ func ForEach(workers, n int, fn func(i int) error) error {
 // trial-chunked simulator and Monte Carlo use — one reusable scratch
 // state per goroutine, work items fanned by ascending index.
 func ForEachWith[S any](workers, n int, setup func() S, fn func(s S, i int) error) error {
+	return ForEachWithCtx(context.Background(), workers, n, setup, fn)
+}
+
+// ForEachWithCtx is ForEachWith under a context. The cancellation check
+// sits between work items — a running fn is never interrupted, so
+// index-addressed slots written before cancellation are still valid.
+func ForEachWithCtx[S any](ctx context.Context, workers, n int, setup func() S, fn func(s S, i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -41,6 +57,9 @@ func ForEachWith[S any](workers, n int, setup func() S, fn func(s S, i int) erro
 	if workers == 1 {
 		s := setup()
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(s, i); err != nil {
 				return err
 			}
@@ -59,6 +78,11 @@ func ForEachWith[S any](workers, n int, setup func() S, fn func(s S, i int) erro
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					failed.Store(true)
 					return
 				}
 				if err := fn(s, i); err != nil {

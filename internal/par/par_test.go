@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -44,5 +45,31 @@ func TestForEachSmallestIndexError(t *testing.T) {
 func TestForEachEmpty(t *testing.T) {
 	if err := ForEach(4, 0, func(int) error { t.Fatal("no items"); return nil }); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestForEachCtxCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := ForEachCtx(ctx, workers, 1000, func(i int) error {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n >= 1000 {
+			t.Fatalf("workers=%d: cancellation did not stop the loop (%d ran)", workers, n)
+		}
+		cancel()
+	}
+	// A pre-cancelled context does no work at all.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := ForEachCtx(ctx, 4, 10, func(int) error { t.Fatal("ran"); return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package probdag
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/dist"
@@ -28,19 +29,30 @@ func MonteCarlo(g *Graph, trials int, rng *rand.Rand) dist.Summary {
 // depend on scheduling, the returned Summary is bit-identical for every
 // worker count — the serial path is simply workers = 1.
 func MonteCarloSeeded(g *Graph, trials int, seed int64, workers int) dist.Summary {
+	s, _ := MonteCarloSeededCtx(context.Background(), g, trials, seed, workers)
+	return s
+}
+
+// MonteCarloSeededCtx is MonteCarloSeeded under a context: cancellation
+// is observed between chunks and reported as an error (the summary is
+// meaningless in that case).
+func MonteCarloSeededCtx(ctx context.Context, g *Graph, trials int, seed int64, workers int) (dist.Summary, error) {
 	if trials <= 0 {
-		return dist.Summary{}
+		return dist.Summary{}, nil
 	}
 	samples := make([]float64, trials)
 	// The graph is shared read-only; each goroutine gets its own scratch.
-	par.ForEachWith(workers, par.Chunks(trials),
+	err := par.ForEachWithCtx(ctx, workers, par.Chunks(trials),
 		func() *Evaluator { return mustEvaluator(g) },
 		func(ev *Evaluator, c int) error {
 			lo, hi := par.ChunkBounds(c, trials)
 			ev.mcFill(samples[lo:hi], rand.New(rand.NewSource(par.SubSeed(seed, c))))
 			return nil
 		})
-	return dist.Summarize(samples)
+	if err != nil {
+		return dist.Summary{}, err
+	}
+	return dist.Summarize(samples), nil
 }
 
 // ExpectedMakespanMC is a convenience wrapper returning only the mean.

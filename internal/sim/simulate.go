@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -204,15 +205,16 @@ func runNone(wpar float64, e dist.Exponential, rng *rand.Rand) Result {
 // fixed-size chunks (par.Chunk), each drawn from its own deterministic
 // sub-seeded generator, and fanned over up to workers goroutines (0
 // means GOMAXPROCS) with one Runner of scratch per goroutine — the
-// summary is bit-identical for every worker count.
-func EstimateExpected(p *ckpt.Plan, trials int, seed int64, workers int) (dist.Summary, error) {
-	s, _, err := EstimateExpectedDetail(p, trials, seed, workers)
+// summary is bit-identical for every worker count. ctx cancellation is
+// observed between chunks.
+func EstimateExpected(ctx context.Context, p *ckpt.Plan, trials int, seed int64, workers int) (dist.Summary, error) {
+	s, _, err := EstimateExpectedDetail(ctx, p, trials, seed, workers)
 	return s, err
 }
 
 // EstimateExpectedDetail is EstimateExpected plus the mean number of
 // failures that struck a busy processor per run.
-func EstimateExpectedDetail(p *ckpt.Plan, trials int, seed int64, workers int) (dist.Summary, float64, error) {
+func EstimateExpectedDetail(ctx context.Context, p *ckpt.Plan, trials int, seed int64, workers int) (dist.Summary, float64, error) {
 	if p.Strategy == ckpt.CkptNone {
 		return dist.Summary{}, 0, fmt.Errorf("sim: use EstimateExpectedNone for the CkptNone strategy")
 	}
@@ -221,7 +223,7 @@ func EstimateExpectedDetail(p *ckpt.Plan, trials int, seed int64, workers int) (
 	}
 	samples := make([]float64, trials)
 	failures := make([]int, par.Chunks(trials))
-	err := par.ForEachWith(workers, par.Chunks(trials),
+	err := par.ForEachWithCtx(ctx, workers, par.Chunks(trials),
 		func() *Runner { r, _ := NewRunner(p); return r },
 		func(r *Runner, c int) error {
 			lo, hi := par.ChunkBounds(c, trials)
@@ -249,23 +251,23 @@ func EstimateExpectedDetail(p *ckpt.Plan, trials int, seed int64, workers int) (
 }
 
 // EstimateExpectedNone is EstimateExpected for the CkptNone strategy.
-func EstimateExpectedNone(s *sched.Schedule, pf platform.Platform, trials int, seed int64, workers int) dist.Summary {
-	sum, _ := EstimateExpectedNoneDetail(s, pf, trials, seed, workers)
-	return sum
+func EstimateExpectedNone(ctx context.Context, s *sched.Schedule, pf platform.Platform, trials int, seed int64, workers int) (dist.Summary, error) {
+	sum, _, err := EstimateExpectedNoneDetail(ctx, s, pf, trials, seed, workers)
+	return sum, err
 }
 
 // EstimateExpectedNoneDetail is EstimateExpectedNone plus the mean
 // failure count per run. Trials are chunked and sub-seeded exactly like
 // EstimateExpectedDetail, so the summary is worker-count invariant.
-func EstimateExpectedNoneDetail(s *sched.Schedule, pf platform.Platform, trials int, seed int64, workers int) (dist.Summary, float64) {
+func EstimateExpectedNoneDetail(ctx context.Context, s *sched.Schedule, pf platform.Platform, trials int, seed int64, workers int) (dist.Summary, float64, error) {
 	if trials <= 0 {
-		return dist.Summary{}, 0
+		return dist.Summary{}, 0, nil
 	}
 	wpar := s.FailureFreeMakespan()
 	e := dist.Exponential{Lambda: pf.Lambda * float64(pf.Processors)}
 	samples := make([]float64, trials)
 	failures := make([]int, par.Chunks(trials))
-	par.ForEach(workers, par.Chunks(trials), func(c int) error {
+	if err := par.ForEachCtx(ctx, workers, par.Chunks(trials), func(c int) error {
 		lo, hi := par.ChunkBounds(c, trials)
 		rng := rand.New(rand.NewSource(par.SubSeed(seed, c)))
 		fails := 0
@@ -276,12 +278,14 @@ func EstimateExpectedNoneDetail(s *sched.Schedule, pf platform.Platform, trials 
 		}
 		failures[c] = fails
 		return nil
-	})
+	}); err != nil {
+		return dist.Summary{}, 0, err
+	}
 	total := 0
 	for _, f := range failures {
 		total += f
 	}
-	return dist.Summarize(samples), meanCount(total, trials)
+	return dist.Summarize(samples), meanCount(total, trials), nil
 }
 
 func meanCount(total, trials int) float64 {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -220,7 +221,7 @@ func TestEstimateExpectedMatchesAnalytic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sum, err := EstimateExpected(p, 3000, 9, 1)
+		sum, err := EstimateExpected(context.Background(), p, 3000, 9, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -252,13 +253,13 @@ func TestEstimateExpectedWorkerInvariance(t *testing.T) {
 	// Trial counts spanning one partial chunk, an exact chunk boundary
 	// and several chunks with a ragged tail.
 	for _, trials := range []int{300, par.Chunk, 2*par.Chunk + 17} {
-		serialSum, serialFails, err := EstimateExpectedDetail(p, trials, 9, 1)
+		serialSum, serialFails, err := EstimateExpectedDetail(context.Background(), p, trials, 9, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		serialNone, serialNoneFails := EstimateExpectedNoneDetail(s, pf, trials, 9, 1)
+		serialNone, serialNoneFails, _ := EstimateExpectedNoneDetail(context.Background(), s, pf, trials, 9, 1)
 		for _, workers := range []int{2, 7} {
-			sum, fails, err := EstimateExpectedDetail(p, trials, 9, workers)
+			sum, fails, err := EstimateExpectedDetail(context.Background(), p, trials, 9, workers)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -266,7 +267,7 @@ func TestEstimateExpectedWorkerInvariance(t *testing.T) {
 				t.Fatalf("trials=%d workers=%d: %+v/%g != serial %+v/%g",
 					trials, workers, sum, fails, serialSum, serialFails)
 			}
-			none, noneFails := EstimateExpectedNoneDetail(s, pf, trials, 9, workers)
+			none, noneFails, _ := EstimateExpectedNoneDetail(context.Background(), s, pf, trials, 9, workers)
 			if none != serialNone || noneFails != serialNoneFails {
 				t.Fatalf("trials=%d workers=%d (none): %+v/%g != serial %+v/%g",
 					trials, workers, none, noneFails, serialNone, serialNoneFails)
@@ -342,7 +343,7 @@ func TestTraceFailuresOutOfRangeProc(t *testing.T) {
 func TestEstimateExpectedDetailCountsFailures(t *testing.T) {
 	// λ·span ≈ 0.5: most runs see at least one failure.
 	p := chainPlan(t, []float64{10}, 0, 0.05, ckpt.CkptSome)
-	sum, fails, err := EstimateExpectedDetail(p, 500, 7, 1)
+	sum, fails, err := EstimateExpectedDetail(context.Background(), p, 500, 7, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,7 +354,7 @@ func TestEstimateExpectedDetailCountsFailures(t *testing.T) {
 		t.Fatalf("failures must lengthen the mean makespan: %g", sum.Mean)
 	}
 	// The summary matches the plain estimator for the same seed.
-	plain, err := EstimateExpected(p, 500, 7, 1)
+	plain, err := EstimateExpected(context.Background(), p, 500, 7, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,390 @@
+package hanccr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/mspg"
+	"repro/internal/platform"
+	"repro/internal/probdag"
+	"repro/internal/sim"
+)
+
+// Plan is one solved scenario: the superchain schedule (Algorithm 1)
+// plus the checkpoint decisions of the scenario's strategy (Algorithm 2
+// for CkptSome), with its planning-time expected-makespan estimate.
+// Plans are immutable and safe for concurrent use — Estimate and
+// Simulate only read them — which is what lets Service hand one cached
+// plan to many requests.
+type Plan struct {
+	scenario Scenario
+	res      *core.Result
+	pf       platform.Platform
+	info     WorkflowInfo
+
+	// The 2-state segment DAG is shared by every Estimate call; it is
+	// built once on demand, and a pool of evaluators (with their
+	// convolution scratch) is kept beside it so concurrent estimates
+	// stop allocating.
+	dagOnce sync.Once
+	dag     *probdag.Graph
+	dagErr  error
+	evals   sync.Pool
+}
+
+// WorkflowInfo summarizes the workflow a plan was built for.
+type WorkflowInfo struct {
+	// Name is the family or the injected document's label.
+	Name string
+	// Tasks and Files count the workflow graph's nodes.
+	Tasks int
+	Files int
+	// CCR is the realized communication-to-computation ratio.
+	CCR float64
+	// Lambda is the calibrated per-processor failure rate.
+	Lambda float64
+	// RedundantEdges counts transitively redundant edges ignored by the
+	// GSPG recognition fallback (0 when the graph was an M-SPG as-is).
+	RedundantEdges int
+}
+
+// Superchain is one scheduled superchain with its checkpoint marks.
+type Superchain struct {
+	Index int
+	Proc  int
+	// Tasks is the superchain's task order; Checkpointed[i] reports
+	// whether a checkpoint follows Tasks[i].
+	Tasks        []int
+	Checkpointed []bool
+}
+
+// SegmentInfo is one checkpoint segment of the plan.
+type SegmentInfo struct {
+	Index int
+	Chain int
+	Proc  int
+	Tasks int
+	// R, W, C are the storage-read, compute and checkpoint-write times.
+	R, W, C float64
+}
+
+// NewPlan validates the scenario, materializes its workflow and
+// platform, schedules it into superchains and applies the scenario's
+// checkpoint strategy. The returned plan carries the PathApprox
+// expected-makespan estimate (Theorem 1 for CkptNone).
+func NewPlan(ctx context.Context, s Scenario) (*Plan, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	w, pf, redundant, err := s.build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Run(ctx, w, pf, s.coreConfig())
+	if err != nil {
+		return nil, wrapPipelineError(err)
+	}
+	return newPlan(s, res, pf, w, redundant), nil
+}
+
+func newPlan(s Scenario, res *core.Result, pf platform.Platform, w *mspg.Workflow, redundant int) *Plan {
+	return &Plan{
+		scenario: s,
+		res:      res,
+		pf:       pf,
+		info: WorkflowInfo{
+			Name:           w.Name,
+			Tasks:          w.G.NumTasks(),
+			Files:          w.G.NumFiles(),
+			CCR:            pf.CCR(w.G),
+			Lambda:         pf.Lambda,
+			RedundantEdges: redundant,
+		},
+	}
+}
+
+// wrapPipelineError maps internal pipeline failures onto the façade's
+// typed errors.
+func wrapPipelineError(err error) error {
+	var notMSPG *mspg.NotMSPGError
+	if errors.As(err, &notMSPG) {
+		return fmt.Errorf("%w: %v", ErrNotMSPG, err)
+	}
+	return err
+}
+
+// Scenario returns the scenario the plan was built from.
+func (p *Plan) Scenario() Scenario { return p.scenario }
+
+// Strategy returns the applied checkpoint strategy.
+func (p *Plan) Strategy() Strategy { return Strategy(p.res.Strategy) }
+
+// Workflow describes the planned workflow.
+func (p *Plan) Workflow() WorkflowInfo { return p.info }
+
+// ExpectedMakespan returns the planning-time estimate: PathApprox over
+// the segment DAG, or the Theorem 1 closed formula for CkptNone.
+func (p *Plan) ExpectedMakespan() float64 { return p.res.ExpectedMakespan }
+
+// FailureFreeMakespan returns W_par, the schedule length without
+// failures and without storage I/O.
+func (p *Plan) FailureFreeMakespan() float64 { return p.res.FailureFreeMakespan }
+
+// NumCheckpoints returns how many tasks are followed by a checkpoint.
+func (p *Plan) NumCheckpoints() int { return p.res.Checkpoints }
+
+// NumSuperchains returns the superchain count of the schedule.
+func (p *Plan) NumSuperchains() int { return p.res.Superchains }
+
+// NumSegments returns the checkpoint segment count (0 under CkptNone).
+func (p *Plan) NumSegments() int { return p.res.Segments }
+
+// Superchains returns the schedule's superchains with their checkpoint
+// marks, in schedule order.
+func (p *Plan) Superchains() []Superchain {
+	out := make([]Superchain, 0, len(p.res.Schedule.Chains))
+	for _, sc := range p.res.Schedule.Chains {
+		c := Superchain{
+			Index:        sc.Index,
+			Proc:         sc.Proc,
+			Tasks:        make([]int, len(sc.Tasks)),
+			Checkpointed: make([]bool, len(sc.Tasks)),
+		}
+		for i, t := range sc.Tasks {
+			c.Tasks[i] = int(t)
+			c.Checkpointed[i] = p.res.Plan.CheckpointAfter[t]
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// Segments returns the plan's checkpoint segments (empty under
+// CkptNone).
+func (p *Plan) Segments() []SegmentInfo {
+	out := make([]SegmentInfo, 0, len(p.res.Plan.Segments))
+	for _, seg := range p.res.Plan.Segments {
+		out = append(out, SegmentInfo{
+			Index: seg.Index, Chain: seg.Chain, Proc: seg.Proc,
+			Tasks: len(seg.Tasks), R: seg.R, W: seg.W, C: seg.C,
+		})
+	}
+	return out
+}
+
+// EstimateOption tunes Estimate.
+type EstimateOption func(*estimateConfig)
+
+type estimateConfig struct {
+	trials  int
+	seed    int64
+	workers int
+}
+
+// WithMCTrials sets the Monte Carlo trial count (default 10000).
+func WithMCTrials(n int) EstimateOption { return func(c *estimateConfig) { c.trials = n } }
+
+// WithMCSeed sets the Monte Carlo seed (default: the scenario seed).
+func WithMCSeed(seed int64) EstimateOption { return func(c *estimateConfig) { c.seed = seed } }
+
+// WithEstimateWorkers bounds the Monte Carlo goroutines (0 = all
+// cores). The estimate is bit-identical for every worker count.
+func WithEstimateWorkers(n int) EstimateOption { return func(c *estimateConfig) { c.workers = n } }
+
+// ensureDAG builds the 2-state segment DAG once and prepares the
+// evaluator pool bound to it.
+func (p *Plan) ensureDAG() (*probdag.Graph, error) {
+	p.dagOnce.Do(func() {
+		p.dag, p.dagErr = ckpt.EvalDAG(p.res.Plan)
+		if p.dagErr == nil {
+			g := p.dag
+			p.evals.New = func() any {
+				// EvalDAG topologically checked g, so this cannot fail.
+				ev, err := probdag.NewEvaluator(g)
+				if err != nil {
+					panic(err)
+				}
+				return ev
+			}
+		}
+	})
+	return p.dag, p.dagErr
+}
+
+// Estimate evaluates the plan's expected makespan with the given
+// method. Under CkptNone every method degenerates to the Theorem 1
+// closed formula (there is no segment DAG). Deterministic methods
+// ignore the options; MonteCarlo honours trials/seed/workers and is
+// bit-identical for every worker count.
+func (p *Plan) Estimate(ctx context.Context, m Method, opts ...EstimateOption) (float64, error) {
+	cfg := estimateConfig{trials: 10000, seed: p.scenario.seed}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	switch m {
+	case PathApprox, MonteCarlo, Normal, Dodin:
+	default:
+		return 0, fmt.Errorf("%w: %q (have %v)", ErrUnknownMethod, m, Methods())
+	}
+	if cfg.trials < 1 {
+		return 0, fmt.Errorf("%w: non-positive Monte Carlo trial count %d", ErrBadScenario, cfg.trials)
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if p.res.Strategy == ckpt.CkptNone {
+		return p.res.ExpectedMakespan, nil
+	}
+	g, err := p.ensureDAG()
+	if err != nil {
+		return 0, err
+	}
+	if m == MonteCarlo {
+		sum, err := probdag.MonteCarloSeededCtx(ctx, g, cfg.trials, cfg.seed, cfg.workers)
+		if err != nil {
+			return 0, err
+		}
+		return sum.Mean, nil
+	}
+	ev := p.evals.Get().(*probdag.Evaluator)
+	defer p.evals.Put(ev)
+	switch m {
+	case PathApprox:
+		return ev.PathApprox(), nil
+	case Normal:
+		return ev.Normal(), nil
+	default: // Dodin
+		return ev.Dodin(probdag.DodinOptions{})
+	}
+}
+
+// SimResult summarizes a batch of discrete-event simulation trials.
+type SimResult struct {
+	Trials       int
+	Mean         float64
+	StdDev       float64
+	CI95         float64 // half-width of the 95% CI on the mean
+	MeanFailures float64 // failures striking a busy processor, per run
+}
+
+// SimOption tunes Simulate.
+type SimOption func(*simConfig)
+
+type simConfig struct {
+	trials  int
+	seed    int64
+	workers int
+}
+
+// WithSimTrials sets the trial count (default 2000).
+func WithSimTrials(n int) SimOption { return func(c *simConfig) { c.trials = n } }
+
+// WithSimSeed sets the trial seed (default: the scenario seed).
+func WithSimSeed(seed int64) SimOption { return func(c *simConfig) { c.seed = seed } }
+
+// WithSimWorkers bounds the trial goroutines (0 = all cores). The
+// summary is bit-identical for every worker count.
+func WithSimWorkers(n int) SimOption { return func(c *simConfig) { c.workers = n } }
+
+// Simulate runs the fail-stop discrete-event simulator on the plan and
+// summarizes the measured makespans — the empirical counterpart of
+// Estimate. CkptNone plans use the whole-restart semantics underlying
+// Theorem 1.
+func (p *Plan) Simulate(ctx context.Context, opts ...SimOption) (SimResult, error) {
+	cfg := simConfig{trials: 2000, seed: p.scenario.seed}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.trials < 1 {
+		return SimResult{}, fmt.Errorf("%w: non-positive trial count %d", ErrBadScenario, cfg.trials)
+	}
+	var (
+		sum   dist.Summary
+		fails float64
+		err   error
+	)
+	if p.res.Strategy == ckpt.CkptNone {
+		sum, fails, err = sim.EstimateExpectedNoneDetail(ctx, p.res.Schedule, p.pf, cfg.trials, cfg.seed, cfg.workers)
+	} else {
+		sum, fails, err = sim.EstimateExpectedDetail(ctx, p.res.Plan, cfg.trials, cfg.seed, cfg.workers)
+	}
+	if err != nil {
+		return SimResult{}, err
+	}
+	return SimResult{
+		Trials:       sum.N,
+		Mean:         sum.Mean,
+		StdDev:       sum.StdDev,
+		CI95:         sum.CI95,
+		MeanFailures: fails,
+	}, nil
+}
+
+// Comparison holds the three paper strategies planned and evaluated on
+// one shared schedule — the experiment underlying Figures 5-7.
+type Comparison struct {
+	Some, All, None *Plan
+}
+
+// RelAll returns EM(CkptAll)/EM(CkptSome) — above 1 means CkptSome
+// wins.
+func (c *Comparison) RelAll() float64 {
+	return c.All.ExpectedMakespan() / c.Some.ExpectedMakespan()
+}
+
+// RelNone returns EM(CkptNone)/EM(CkptSome).
+func (c *Comparison) RelNone() float64 {
+	return c.None.ExpectedMakespan() / c.Some.ExpectedMakespan()
+}
+
+// CompareOption tunes Compare.
+type CompareOption func(*compareConfig)
+
+type compareConfig struct{ workers int }
+
+// CompareWorkers bounds the per-strategy fan-out goroutines (0 = all
+// cores). Results are identical for every worker count.
+func CompareWorkers(n int) CompareOption { return func(c *compareConfig) { c.workers = n } }
+
+// Compare plans and evaluates CkptSome, CkptAll and CkptNone on the
+// same schedule of the scenario's workflow. The scenario's own strategy
+// field is ignored.
+func Compare(ctx context.Context, s Scenario, opts ...CompareOption) (*Comparison, error) {
+	cfg := compareConfig{workers: runtime.GOMAXPROCS(0)}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.workers <= 0 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	w, pf, redundant, err := s.build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	cc := s.coreConfig()
+	cc.Strategy = ""
+	cc.Workers = cfg.workers
+	cmp, err := core.Compare(ctx, w, pf, cc)
+	if err != nil {
+		return nil, wrapPipelineError(err)
+	}
+	wrap := func(res *core.Result, st Strategy) *Plan {
+		sc := s
+		sc.strategy = st
+		return newPlan(sc, res, pf, w, redundant)
+	}
+	return &Comparison{
+		Some: wrap(cmp.Some, CkptSome),
+		All:  wrap(cmp.All, CkptAll),
+		None: wrap(cmp.None, CkptNone),
+	}, nil
+}

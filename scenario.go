@@ -1,0 +1,301 @@
+package hanccr
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/mspg"
+	"repro/internal/pegasus"
+	"repro/internal/platform"
+	"repro/internal/wfdag"
+)
+
+// Shared scenario defaults — one source of truth for every entry point
+// and every CLI flag block (see BindScenarioFlags).
+const (
+	DefaultFamily    = "genome"
+	DefaultTasks     = 300
+	DefaultProcs     = 35
+	DefaultPFail     = 0.001
+	DefaultCCR       = 0.01
+	DefaultSeed      = 42
+	DefaultBandwidth = 1e8
+)
+
+// Scenario is one planning request: which workflow to run (a generated
+// Pegasus family or an injected DAG document), on what platform, under
+// which checkpoint strategy. Scenarios are immutable values built with
+// functional options; the zero value of every knob means "the shared
+// default". Two scenarios with the same Key() describe the same
+// request.
+type Scenario struct {
+	family    string
+	tasks     int
+	procs     int
+	pfail     float64
+	ccr       float64
+	seed      int64
+	bandwidth float64
+	ragged    bool
+	strategy  Strategy
+	exact     bool // exact segment cost model instead of first-order
+
+	source string // label of an injected workflow ("" = generated)
+	graph  []byte // serialized workflow document when injected
+	format string // "json" | "dax"
+
+	err error // first option failure, surfaced by Validate
+}
+
+// ScenarioOption configures a Scenario.
+type ScenarioOption func(*Scenario)
+
+// NewScenario builds a scenario from the shared defaults plus opts.
+func NewScenario(opts ...ScenarioOption) Scenario {
+	s := Scenario{
+		family:    DefaultFamily,
+		tasks:     DefaultTasks,
+		procs:     DefaultProcs,
+		pfail:     DefaultPFail,
+		ccr:       DefaultCCR,
+		seed:      DefaultSeed,
+		bandwidth: DefaultBandwidth,
+		strategy:  CkptSome,
+	}
+	for _, o := range opts {
+		o(&s)
+	}
+	return s
+}
+
+// WithFamily selects the generated workflow family (montage, ligo,
+// genome or cybershake).
+func WithFamily(family string) ScenarioOption { return func(s *Scenario) { s.family = family } }
+
+// WithTasks sets the approximate task count of the generated workflow.
+func WithTasks(n int) ScenarioOption { return func(s *Scenario) { s.tasks = n } }
+
+// WithProcs sets the processor count of the platform.
+func WithProcs(n int) ScenarioOption { return func(s *Scenario) { s.procs = n } }
+
+// WithPFail sets the per-task failure probability that calibrates the
+// platform's exponential failure rate λ (§VI-A).
+func WithPFail(p float64) ScenarioOption { return func(s *Scenario) { s.pfail = p } }
+
+// WithCCR rescales the workflow's file sizes so its
+// communication-to-computation ratio hits the target.
+func WithCCR(ccr float64) ScenarioOption { return func(s *Scenario) { s.ccr = ccr } }
+
+// WithSeed drives workflow generation and the schedule linearization.
+func WithSeed(seed int64) ScenarioOption { return func(s *Scenario) { s.seed = seed } }
+
+// WithBandwidth sets the stable-storage bandwidth in bytes/s.
+func WithBandwidth(bw float64) ScenarioOption { return func(s *Scenario) { s.bandwidth = bw } }
+
+// WithRagged (ligo only) generates the PWG-style non-M-SPG artifact
+// plus the paper's dummy-dependency completion.
+func WithRagged(r bool) ScenarioOption { return func(s *Scenario) { s.ragged = r } }
+
+// WithStrategy selects the checkpoint strategy NewPlan applies
+// (default CkptSome).
+func WithStrategy(st Strategy) ScenarioOption { return func(s *Scenario) { s.strategy = st } }
+
+// WithExactCostModel switches the segment cost model from the paper's
+// first-order Eq. (2) to the exact restart expectation (ablation A4).
+func WithExactCostModel() ScenarioOption { return func(s *Scenario) { s.exact = true } }
+
+// WithWorkflow injects a serialized workflow document instead of
+// generating one. format is "json" (this library's native schema) or
+// "dax" (the Pegasus DAX subset); name labels the workflow in outputs
+// and error messages. The bytes are captured eagerly so the scenario
+// stays a self-contained, hashable value.
+func WithWorkflow(name, format string, doc []byte) ScenarioOption {
+	return func(s *Scenario) {
+		format = strings.ToLower(format)
+		if format != "json" && format != "dax" {
+			s.err = fmt.Errorf("%w: unsupported workflow format %q (want json or dax)", ErrParse, format)
+			return
+		}
+		s.source = name
+		s.format = format
+		s.graph = bytes.Clone(doc)
+	}
+}
+
+// WithWorkflowFile injects the workflow stored at path (.json, .dax or
+// .xml). The file is read eagerly, so the scenario — and its cache key —
+// is pinned to the content at option time.
+func WithWorkflowFile(path string) ScenarioOption {
+	return func(s *Scenario) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			s.err = err
+			return
+		}
+		format := ""
+		switch strings.ToLower(filepath.Ext(path)) {
+		case ".json":
+			format = "json"
+		case ".dax", ".xml":
+			format = "dax"
+		default:
+			s.err = fmt.Errorf("%w: unsupported workflow format %q (want .json, .dax or .xml)", ErrParse, filepath.Ext(path))
+			return
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		s.source = name
+		s.format = format
+		s.graph = data
+	}
+}
+
+// Generated reports whether the scenario generates its workflow (true)
+// or carries an injected document (false).
+func (s Scenario) Generated() bool { return s.graph == nil }
+
+// Strategy returns the checkpoint strategy the scenario requests.
+func (s Scenario) Strategy() Strategy { return s.strategy }
+
+// Seed returns the scenario's seed.
+func (s Scenario) Seed() int64 { return s.seed }
+
+// Validate reports the first configuration error, wrapped in
+// ErrBadScenario (or ErrParse for an unreadable injected workflow).
+func (s Scenario) Validate() error {
+	if s.err != nil {
+		if errors.Is(s.err, ErrParse) {
+			return s.err
+		}
+		return fmt.Errorf("%w: %v", ErrBadScenario, s.err)
+	}
+	if s.graph == nil {
+		known := false
+		for _, f := range pegasus.Families() {
+			if f == s.family {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("%w: unknown family %q (have %v)", ErrBadScenario, s.family, pegasus.Families())
+		}
+		if s.tasks < 1 {
+			return fmt.Errorf("%w: need at least one task, got %d", ErrBadScenario, s.tasks)
+		}
+	}
+	if s.procs < 1 {
+		return fmt.Errorf("%w: need at least one processor, got %d", ErrBadScenario, s.procs)
+	}
+	if s.pfail < 0 || s.pfail >= 1 {
+		return fmt.Errorf("%w: pfail %g outside [0, 1)", ErrBadScenario, s.pfail)
+	}
+	if s.ccr < 0 {
+		return fmt.Errorf("%w: negative CCR %g", ErrBadScenario, s.ccr)
+	}
+	if s.bandwidth <= 0 {
+		return fmt.Errorf("%w: non-positive bandwidth %g", ErrBadScenario, s.bandwidth)
+	}
+	switch s.strategy {
+	case CkptSome, CkptAll, CkptNone, ExitOnly:
+	default:
+		return fmt.Errorf("%w: %q (have %v)", ErrUnknownStrategy, s.strategy, Strategies())
+	}
+	return nil
+}
+
+// Key returns the canonical scenario hash: a hex SHA-256 over every
+// knob that influences the resulting plan (floats hashed by their exact
+// bit patterns, injected documents by content). It is the cache key of
+// Service and stable across processes.
+func (s Scenario) Key() string {
+	h := sha256.New()
+	model := "first-order"
+	if s.exact {
+		model = "exact"
+	}
+	fmt.Fprintf(h, "family=%s|tasks=%d|procs=%d|pfail=%016x|ccr=%016x|seed=%d|bw=%016x|ragged=%t|strategy=%s|model=%s|",
+		s.family, s.tasks, s.procs,
+		math.Float64bits(s.pfail), math.Float64bits(s.ccr), s.seed,
+		math.Float64bits(s.bandwidth), s.ragged, s.strategy, model)
+	if s.graph != nil {
+		// Variable-length, user-controlled fields are length-prefixed so
+		// no (source, document) pair can collide with another by moving
+		// bytes across the field boundary.
+		fmt.Fprintf(h, "src=%d:%s|format=%s|doc=%d:", len(s.source), s.source, s.format, len(s.graph))
+		h.Write(s.graph)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// materialize produces the scenario's workflow with the generator's
+// own file sizes (no CCR rescaling). The returned workflow is private
+// to the caller: generated workflows are clones of the memoized
+// instance, injected ones are re-parsed.
+func (s Scenario) materialize(ctx context.Context) (*mspg.Workflow, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	if s.graph != nil {
+		var (
+			g   *wfdag.Graph
+			err error
+		)
+		switch s.format {
+		case "json":
+			g, err = wfdag.ReadJSON(bytes.NewReader(s.graph))
+		case "dax":
+			g, err = wfdag.ReadDAX(bytes.NewReader(s.graph))
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: %v", ErrParse, core.NewParseError(s.source, err))
+		}
+		w, redundant, err := mspg.WorkflowFromGraph(s.source, g)
+		if err != nil {
+			return nil, redundant, fmt.Errorf("%w: %v", ErrNotMSPG, err)
+		}
+		return w, redundant, nil
+	}
+	w, err := pegasus.CachedGenerate(s.family, pegasus.Options{Tasks: s.tasks, Seed: s.seed, Ragged: s.ragged})
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrBadScenario, err)
+	}
+	return w, 0, nil
+}
+
+// build materializes the workflow and calibrates the platform: λ from
+// pfail, file sizes rescaled in place (on the private copy) to hit the
+// scenario's CCR — exactly the pipeline of the paper's experiments.
+func (s Scenario) build(ctx context.Context) (*mspg.Workflow, platform.Platform, int, error) {
+	w, redundant, err := s.materialize(ctx)
+	if err != nil {
+		return nil, platform.Platform{}, 0, err
+	}
+	pf := platform.New(s.procs, 0, s.bandwidth).WithLambdaForPFail(s.pfail, w.G)
+	pf.ScaleToCCR(w.G, s.ccr)
+	return w, pf, redundant, nil
+}
+
+// coreConfig translates the scenario into the internal pipeline
+// configuration.
+func (s Scenario) coreConfig() core.Config {
+	model := ckpt.ModelFirstOrder
+	if s.exact {
+		model = ckpt.ModelExact
+	}
+	return core.Config{
+		Strategy:  ckpt.Strategy(s.strategy),
+		Estimator: ckpt.EstPathApprox,
+		Seed:      s.seed,
+		Model:     model,
+	}
+}

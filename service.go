@@ -1,0 +1,251 @@
+package hanccr
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultCacheCapacity bounds a Service's plan cache when no explicit
+// capacity is configured.
+const DefaultCacheCapacity = 256
+
+// Service is a long-lived, goroutine-safe planner: Plan requests are
+// answered from a bounded LRU of solved scenarios keyed by the
+// canonical scenario hash (Scenario.Key), so a hot scenario is
+// scheduled once and then served from memory. Planning itself reuses
+// the process-wide generator memo (pegasus.CachedGenerate under the
+// hood) and each cached plan keeps an evaluator pool for its segment
+// DAG, so concurrent estimate traffic on one plan does not allocate.
+//
+// Concurrent requests for the same cold scenario are coalesced: one
+// goroutine plans, the rest wait and share the result. Failed plans
+// are not cached.
+type Service struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	hits    uint64
+	misses  uint64
+}
+
+// cacheEntry is one LRU slot; once coalesces concurrent cold requests,
+// done flips (inside the once) when plan/err are safe to read without
+// entering the once.
+type cacheEntry struct {
+	key  string
+	once sync.Once
+	done atomic.Bool
+	plan *Plan
+	err  error
+}
+
+// ServiceOption configures a Service.
+type ServiceOption func(*Service)
+
+// WithCacheCapacity bounds the plan LRU (minimum 1; default
+// DefaultCacheCapacity).
+func WithCacheCapacity(n int) ServiceOption {
+	return func(s *Service) {
+		if n > 0 {
+			s.cap = n
+		}
+	}
+}
+
+// NewService returns a ready-to-use planner.
+func NewService(opts ...ServiceOption) *Service {
+	s := &Service{
+		cap:     DefaultCacheCapacity,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Stats is a point-in-time snapshot of the cache.
+type Stats struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
+}
+
+// Stats returns the cache counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{Hits: s.hits, Misses: s.misses, Entries: s.order.Len(), Capacity: s.cap}
+}
+
+// Plan returns the solved plan for sc, from cache when warm. Cached
+// plans are deterministic replays of the cold path, so a hit is
+// bit-identical to a miss.
+func (s *Service) Plan(ctx context.Context, sc Scenario) (*Plan, error) {
+	p, _, err := s.PlanCached(ctx, sc)
+	return p, err
+}
+
+// PlanCached is Plan plus a flag reporting whether the plan was already
+// resident (true) or computed by this call (false). Waiters coalesced
+// onto another goroutine's in-flight computation report a hit.
+func (s *Service) PlanCached(ctx context.Context, sc Scenario) (*Plan, bool, error) {
+	// Validate before hashing so the cache only ever holds well-formed
+	// scenarios (and a malformed request cannot evict a resident plan).
+	if err := sc.Validate(); err != nil {
+		return nil, false, err
+	}
+	return s.planForKey(ctx, sc, sc.Key())
+}
+
+// planForKey is PlanCached after validation, with the canonical hash
+// already computed (HTTP handlers reuse it for the response instead of
+// hashing a potentially multi-megabyte injected document twice).
+func (s *Service) planForKey(ctx context.Context, sc Scenario, key string) (*Plan, bool, error) {
+	for {
+		s.mu.Lock()
+		el, hit := s.entries[key]
+		var e *cacheEntry
+		if hit {
+			s.order.MoveToFront(el)
+			e = el.Value.(*cacheEntry)
+			s.hits++
+		} else {
+			e = &cacheEntry{key: key}
+			s.entries[key] = s.order.PushFront(e)
+			s.misses++
+			for s.order.Len() > s.cap {
+				last := s.order.Back()
+				s.order.Remove(last)
+				delete(s.entries, last.Value.(*cacheEntry).key)
+			}
+		}
+		s.mu.Unlock()
+
+		e.once.Do(func() {
+			e.plan, e.err = NewPlan(ctx, sc)
+			e.done.Store(true)
+		})
+		if e.err == nil {
+			return e.plan, hit, nil
+		}
+		// Do not cache failures (the first caller's ctx may simply have
+		// been cancelled); drop the entry if it is still resident.
+		s.mu.Lock()
+		if cur, ok := s.entries[key]; ok && cur.Value.(*cacheEntry) == e {
+			s.order.Remove(cur)
+			delete(s.entries, key)
+		}
+		s.mu.Unlock()
+		// A coalesced flight runs under its initiator's context. If the
+		// failure is that context's cancellation while OUR context is
+		// still live, the error is not ours — retry as the new initiator
+		// rather than failing a healthy request.
+		if ctx.Err() == nil &&
+			(errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+			continue
+		}
+		return nil, hit, e.err
+	}
+}
+
+// Estimate plans sc through the cache and evaluates it with the given
+// method.
+func (s *Service) Estimate(ctx context.Context, sc Scenario, m Method, opts ...EstimateOption) (float64, error) {
+	p, err := s.Plan(ctx, sc)
+	if err != nil {
+		return 0, err
+	}
+	return p.Estimate(ctx, m, opts...)
+}
+
+// Simulate plans sc through the cache and runs the discrete-event
+// simulator on the plan.
+func (s *Service) Simulate(ctx context.Context, sc Scenario, opts ...SimOption) (SimResult, error) {
+	p, err := s.Plan(ctx, sc)
+	if err != nil {
+		return SimResult{}, err
+	}
+	return p.Simulate(ctx, opts...)
+}
+
+// Compare plans and evaluates the three paper strategies for sc. When
+// all three per-strategy plans are resident (the scenario with its
+// strategy pinned is the cache key) they are served from the LRU;
+// otherwise one shared-schedule Compare runs — the paper's semantics,
+// one sched.Allocate for all three strategies — and its plans seed the
+// cache for later single-strategy requests.
+func (s *Service) Compare(ctx context.Context, sc Scenario) (*Comparison, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	strategies := []Strategy{CkptSome, CkptAll, CkptNone}
+	keys := make([]string, len(strategies))
+	for i, st := range strategies {
+		pinned := sc
+		pinned.strategy = st
+		keys[i] = pinned.Key()
+	}
+	if plans, ok := s.lookupAll(keys); ok {
+		return &Comparison{Some: plans[0], All: plans[1], None: plans[2]}, nil
+	}
+	cmp, err := Compare(ctx, sc)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range []*Plan{cmp.Some, cmp.All, cmp.None} {
+		s.seed(keys[i], p)
+	}
+	return cmp, nil
+}
+
+// lookupAll returns the completed plans for every key, or ok=false if
+// any is missing, in flight, or failed. Hits are only counted when the
+// whole set is warm.
+func (s *Service) lookupAll(keys []string) ([]*Plan, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	plans := make([]*Plan, len(keys))
+	for i, key := range keys {
+		el, ok := s.entries[key]
+		if !ok {
+			return nil, false
+		}
+		e := el.Value.(*cacheEntry)
+		if !e.done.Load() || e.err != nil {
+			return nil, false
+		}
+		plans[i] = e.plan
+	}
+	for _, key := range keys {
+		s.order.MoveToFront(s.entries[key])
+		s.hits++
+	}
+	return plans, true
+}
+
+// seed inserts an already-computed plan under key, unless an entry for
+// the key exists (a racing in-flight computation keeps its waiters).
+func (s *Service) seed(key string, p *Plan) {
+	e := &cacheEntry{key: key, plan: p}
+	e.once.Do(func() {})
+	e.done.Store(true)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[key]; ok {
+		return
+	}
+	s.entries[key] = s.order.PushFront(e)
+	s.misses++
+	for s.order.Len() > s.cap {
+		last := s.order.Back()
+		s.order.Remove(last)
+		delete(s.entries, last.Value.(*cacheEntry).key)
+	}
+}

@@ -1,0 +1,320 @@
+package hanccr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// smallScenario is a cheap-to-plan cell used by the service tests.
+func smallScenario(fam string, seed int64, strat Strategy) Scenario {
+	return NewScenario(
+		WithFamily(fam), WithTasks(40), WithProcs(3),
+		WithSeed(seed), WithStrategy(strat),
+	)
+}
+
+// TestServiceCacheHitBitIdentical pins the service's core promise: a
+// warm hit returns the very plan the cold miss computed, and both
+// agree exactly with an uncached NewPlan.
+func TestServiceCacheHitBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	svc := NewService()
+	sc := smallScenario("genome", 7, CkptSome)
+
+	cold, hit, err := svc.PlanCached(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first request reported a cache hit")
+	}
+	warm, hit, err := svc.PlanCached(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("second request missed the cache")
+	}
+	if warm != cold {
+		t.Fatal("cache hit returned a different plan instance")
+	}
+	direct, err := NewPlan(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.ExpectedMakespan() != direct.ExpectedMakespan() {
+		t.Fatalf("cached plan EM %.17g != direct %.17g", warm.ExpectedMakespan(), direct.ExpectedMakespan())
+	}
+	de, err := direct.Estimate(ctx, Dodin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	we, err := warm.Estimate(ctx, Dodin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if de != we {
+		t.Fatalf("cached estimate %.17g != direct %.17g", we, de)
+	}
+	st := svc.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+}
+
+// TestServiceLRUEviction checks the cache is bounded and evicts least
+// recently used plans first.
+func TestServiceLRUEviction(t *testing.T) {
+	ctx := context.Background()
+	svc := NewService(WithCacheCapacity(2))
+	a := smallScenario("genome", 1, CkptSome)
+	b := smallScenario("genome", 2, CkptSome)
+	c := smallScenario("genome", 3, CkptSome)
+
+	for _, sc := range []Scenario{a, b} {
+		if _, err := svc.Plan(ctx, sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch a so b is the LRU victim when c arrives.
+	if _, hit, _ := svc.PlanCached(ctx, a); !hit {
+		t.Fatal("a should be resident")
+	}
+	if _, err := svc.Plan(ctx, c); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Stats(); st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", st.Entries)
+	}
+	if _, hit, _ := svc.PlanCached(ctx, a); !hit {
+		t.Error("a was evicted despite being recently used")
+	}
+	if _, hit, _ := svc.PlanCached(ctx, b); hit {
+		t.Error("b survived eviction in a capacity-2 cache")
+	}
+}
+
+// TestServiceErrorsNotCached checks a failed plan does not poison the
+// cache.
+func TestServiceErrorsNotCached(t *testing.T) {
+	ctx := context.Background()
+	svc := NewService()
+	bad := NewScenario(WithWorkflow("diamond", "json", []byte(nonMSPGDoc)))
+	if _, err := svc.Plan(ctx, bad); err == nil {
+		t.Fatal("expected a planning error")
+	}
+	if st := svc.Stats(); st.Entries != 0 {
+		t.Fatalf("failed plan left %d cache entries", st.Entries)
+	}
+	// A cancelled first request must not pin a dead entry either.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	good := smallScenario("montage", 5, CkptSome)
+	if _, err := svc.Plan(cctx, good); err == nil {
+		t.Fatal("expected cancellation")
+	}
+	if p, err := svc.Plan(ctx, good); err != nil || p == nil {
+		t.Fatalf("retry after cancellation failed: %v", err)
+	}
+}
+
+// TestServiceConcurrentMixedTraffic hammers one Service from many
+// goroutines with mixed plan/estimate/simulate/compare traffic over a
+// small scenario set (forcing heavy key collision and some eviction)
+// and checks every answer equals the serial reference. Run under -race
+// by `make check`, this is also the data-race proof for the LRU and the
+// per-plan evaluator pools.
+func TestServiceConcurrentMixedTraffic(t *testing.T) {
+	ctx := context.Background()
+	scenarios := []Scenario{
+		smallScenario("genome", 7, CkptSome),
+		smallScenario("genome", 7, CkptAll),
+		smallScenario("genome", 7, CkptNone),
+		smallScenario("montage", 7, CkptSome),
+		smallScenario("ligo", 7, CkptSome),
+		smallScenario("cybershake", 7, CkptSome),
+	}
+	type ref struct {
+		em, dodin float64
+		simMean   float64
+	}
+	refs := make([]ref, len(scenarios))
+	for i, sc := range scenarios {
+		p, err := NewPlan(ctx, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := p.Estimate(ctx, Dodin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := p.Simulate(ctx, WithSimTrials(200), WithSimWorkers(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = ref{em: p.ExpectedMakespan(), dodin: d, simMean: sim.Mean}
+	}
+
+	svc := NewService(WithCacheCapacity(4)) // smaller than the scenario set: force eviction under load
+	const goroutines = 8
+	const iters = 30
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				i := (g + it) % len(scenarios)
+				sc, want := scenarios[i], refs[i]
+				switch it % 3 {
+				case 0:
+					p, err := svc.Plan(ctx, sc)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if p.ExpectedMakespan() != want.em {
+						errc <- fmt.Errorf("plan EM %.17g != ref %.17g", p.ExpectedMakespan(), want.em)
+						return
+					}
+				case 1:
+					d, err := svc.Estimate(ctx, sc, Dodin)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if d != want.dodin {
+						errc <- fmt.Errorf("dodin %.17g != ref %.17g", d, want.dodin)
+						return
+					}
+				default:
+					s, err := svc.Simulate(ctx, sc, WithSimTrials(200), WithSimWorkers(2))
+					if err != nil {
+						errc <- err
+						return
+					}
+					if s.Mean != want.simMean {
+						errc <- fmt.Errorf("sim mean %.17g != ref %.17g", s.Mean, want.simMean)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.Entries > 4 {
+		t.Fatalf("cache exceeded capacity: %+v", st)
+	}
+	if st.Hits+st.Misses == 0 {
+		t.Fatal("no traffic recorded")
+	}
+}
+
+// TestServiceCompareMatchesFacadeCompare pins Service.Compare (three
+// cached per-strategy plans) against the one-shot Compare (one shared
+// schedule): the schedules are deterministic per seed, so the numbers
+// must agree exactly.
+func TestServiceCompareMatchesFacadeCompare(t *testing.T) {
+	ctx := context.Background()
+	sc := smallScenario("montage", 11, CkptSome)
+	direct, err := Compare(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService()
+	cached, err := svc.Compare(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Some.ExpectedMakespan() != direct.Some.ExpectedMakespan() ||
+		cached.All.ExpectedMakespan() != direct.All.ExpectedMakespan() ||
+		cached.None.ExpectedMakespan() != direct.None.ExpectedMakespan() {
+		t.Fatal("Service.Compare diverges from Compare")
+	}
+}
+
+// TestServiceForeignCancellationDoesNotPoisonWaiters pins the
+// singleflight fix: a cancelled initiator must not fail a coalesced
+// waiter whose own context is live — the waiter retries as the new
+// initiator and gets a real plan.
+func TestServiceForeignCancellationDoesNotPoisonWaiters(t *testing.T) {
+	svc := NewService()
+	sc := smallScenario("genome", 21, CkptSome)
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// The cancelled caller seeds the in-flight entry and fails...
+	if _, err := svc.Plan(cctx, sc); err == nil {
+		t.Fatal("cancelled initiator must fail")
+	}
+	// ...but a healthy caller right after must succeed.
+	p, err := svc.Plan(context.Background(), sc)
+	if err != nil || p == nil {
+		t.Fatalf("healthy caller failed after foreign cancellation: %v", err)
+	}
+}
+
+// TestScenarioKeyNoFieldBoundaryCollision pins the length-prefixed hash
+// input: moving bytes between the injected document's name and body
+// must change the key.
+func TestScenarioKeyNoFieldBoundaryCollision(t *testing.T) {
+	a := NewScenario(WithWorkflow("n", "json", []byte("PAYLOAD-A|format=json|doc=42:rest")))
+	b := NewScenario(WithWorkflow("n|format=json|doc=42:PAYLOAD-A", "json", []byte("rest")))
+	if a.Key() == b.Key() {
+		t.Fatal("scenario keys collide across the name/document boundary")
+	}
+}
+
+// TestNonPositiveTrialsRejected pins the ErrBadScenario guard on
+// explicit nonsense trial counts.
+func TestNonPositiveTrialsRejected(t *testing.T) {
+	ctx := context.Background()
+	p, err := NewPlan(ctx, smallScenario("genome", 7, CkptSome))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Estimate(ctx, MonteCarlo, WithMCTrials(-5)); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("Estimate(-5 trials): %v", err)
+	}
+	if _, err := p.Simulate(ctx, WithSimTrials(0)); !errors.Is(err, ErrBadScenario) {
+		t.Errorf("Simulate(0 trials): %v", err)
+	}
+}
+
+// TestServiceCompareSeedsCache pins the shared-schedule Compare path:
+// a cold Service.Compare runs one comparison and seeds all three
+// per-strategy plans, so the follow-up single-strategy requests and a
+// second Compare are pure hits.
+func TestServiceCompareSeedsCache(t *testing.T) {
+	ctx := context.Background()
+	svc := NewService()
+	sc := smallScenario("genome", 31, CkptSome)
+	first, err := svc.Compare(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.Entries != 3 || st.Hits != 0 {
+		t.Fatalf("after cold Compare: %+v, want 3 seeded entries, 0 hits", st)
+	}
+	for _, strat := range []Strategy{CkptSome, CkptAll, CkptNone} {
+		if _, hit, err := svc.PlanCached(ctx, smallScenario("genome", 31, strat)); err != nil || !hit {
+			t.Fatalf("%s not seeded (hit=%v, err=%v)", strat, hit, err)
+		}
+	}
+	second, err := svc.Compare(ctx, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Some != first.Some || second.All != first.All || second.None != first.None {
+		t.Fatal("warm Compare did not serve the seeded plans")
+	}
+}
