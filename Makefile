@@ -3,8 +3,9 @@
 # one-iteration benchmark smoke so a broken benchmark harness fails fast.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench-smoke bench golden-update fuzz-smoke serve-smoke
+.PHONY: check vet build test race bench-smoke bench bench-scaling golden-update fuzz-smoke serve-smoke
 
 check: vet build race bench-smoke
 
@@ -27,18 +28,31 @@ bench-smoke:
 bench:
 	./bench.sh
 
+# Wall-clock scaling of the sweep/sim/batch hot paths at workers=1 vs
+# workers=NumCPU, written to scaling.json (CI uploads it as an
+# artifact). On a multicore host this FAILS when parallel is slower
+# than serial.
+bench-scaling:
+	$(GO) run ./cmd/benchscaling -out scaling.json
+
 # Rewrite the golden paper-fidelity expectations after an INTENTIONAL
 # numeric change; inspect the testdata/golden diff before committing.
 golden-update:
 	$(GO) test -run TestGolden -update .
 
-# Boot cmd/serve, hit /healthz and one /v1/plan, tear down. Proves the
-# daemon wiring (listen, JSON round trip, graceful shutdown) outside the
-# httptest harness.
+# Boot cmd/serve with a two-line warm log and scenario recording, hit
+# every endpoint (plan, batch, sweep, healthz), tear down. Proves the
+# daemon wiring — listen, warm-up replay, JSON round trips, traffic
+# logging, graceful shutdown — outside the httptest harness.
 serve-smoke:
 	$(GO) build -o /tmp/hanccr-serve ./cmd/serve
 	@set -e; \
-	/tmp/hanccr-serve -addr 127.0.0.1:18080 & pid=$$!; \
+	printf '%s\n%s\n' \
+		'{"family":"genome","tasks":50,"procs":5}' \
+		'{"family":"montage","tasks":50,"procs":5}' > /tmp/hanccr-warm.jsonl; \
+	rm -f /tmp/hanccr-scenarios.jsonl; \
+	/tmp/hanccr-serve -addr 127.0.0.1:18080 -warm /tmp/hanccr-warm.jsonl \
+		-log-scenarios /tmp/hanccr-scenarios.jsonl & pid=$$!; \
 	trap "kill $$pid 2>/dev/null || true" EXIT; \
 	ok=0; \
 	for i in $$(seq 1 50); do \
@@ -46,12 +60,28 @@ serve-smoke:
 		sleep 0.1; \
 	done; \
 	[ $$ok -eq 1 ] || { echo "serve-smoke: daemon never came up"; exit 1; }; \
+	curl -fsS http://127.0.0.1:18080/healthz | grep -q '"entries":2' \
+		|| { echo "serve-smoke: -warm did not preload 2 scenarios"; exit 1; }; \
 	curl -fsS -X POST -d '{"family":"genome","tasks":50,"procs":5}' \
 		http://127.0.0.1:18080/v1/plan | grep -q '"expected_makespan"'; \
+	curl -fsS -X POST -d '{"jobs":[{"kind":"plan","family":"ligo","tasks":50,"procs":5},{"kind":"estimate","family":"montage","tasks":50,"procs":5,"method":"Dodin"}]}' \
+		http://127.0.0.1:18080/v1/batch | grep -q '"results"'; \
+	curl -fsS -X POST -d '{"family":"genome","sizes":[50],"procs":[5],"pfails":[0.001],"ccr_min":0.001,"ccr_max":0.001,"points_per_decade":5}' \
+		http://127.0.0.1:18080/v1/sweep | grep -q '"rows"'; \
 	kill -TERM $$pid; wait $$pid || true; \
+	n=$$(grep -c . /tmp/hanccr-scenarios.jsonl || true); \
+	[ "$$n" -ge 1 ] || { echo "serve-smoke: scenario log has $$n lines, want >= 1 (only the cold ligo job logs; warm hits must not)"; exit 1; }; \
+	grep -q '"family":"ligo"' /tmp/hanccr-scenarios.jsonl; \
 	echo "serve-smoke: OK"
 
-# Short fuzz pass over the workflow loaders.
+# Short fuzz pass over every fuzz target in the tree. Packages and
+# targets are derived via `go list` / `go test -list`, so the target
+# survives package moves (it used to hardcode ./internal/wfdag/).
 fuzz-smoke:
-	$(GO) test -fuzz FuzzReadDAX -fuzztime 10s ./internal/wfdag/
-	$(GO) test -fuzz FuzzReadJSON -fuzztime 10s ./internal/wfdag/
+	@set -e; \
+	for pkg in $$($(GO) list ./...); do \
+		for fz in $$($(GO) test -run '^$$' -list '^Fuzz' $$pkg | grep '^Fuzz' || true); do \
+			echo "fuzz $$pkg $$fz ($(FUZZTIME))"; \
+			$(GO) test -run '^$$' -fuzz "^$$fz$$" -fuzztime $(FUZZTIME) $$pkg; \
+		done; \
+	done

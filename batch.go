@@ -1,0 +1,110 @@
+package hanccr
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/par"
+)
+
+// JobKind selects what one batch job computes.
+type JobKind string
+
+const (
+	// JobPlan solves the scenario and returns the plan.
+	JobPlan JobKind = "plan"
+	// JobEstimate plans the scenario and evaluates one estimator.
+	JobEstimate JobKind = "estimate"
+	// JobSimulate plans the scenario and runs the discrete-event
+	// simulator.
+	JobSimulate JobKind = "simulate"
+)
+
+// Job is one unit of a Service.Batch request: a scenario plus what to
+// compute on it. Heterogeneous kinds mix freely in one batch.
+type Job struct {
+	Kind     JobKind
+	Scenario Scenario
+	// Method is the estimator of a JobEstimate (ignored otherwise).
+	Method Method
+	// EstimateOptions tune a JobEstimate (trials, seed, inner workers).
+	EstimateOptions []EstimateOption
+	// SimOptions tune a JobSimulate.
+	SimOptions []SimOption
+}
+
+// JobResult is the outcome of one batch job. Exactly the fields of the
+// job's kind are meaningful; Err is per job, so one failing job never
+// aborts its batch.
+type JobResult struct {
+	Kind JobKind
+	// Key is the canonical scenario hash (empty when validation failed).
+	Key string
+	// Hit reports whether the plan was already resident in the cache.
+	Hit bool
+	// Plan is the solved plan (all kinds plan first).
+	Plan *Plan
+	// Estimate is the expected makespan of a JobEstimate.
+	Estimate float64
+	// Sim is the simulation summary of a JobSimulate.
+	Sim SimResult
+	// Err is the job's failure, if any.
+	Err error
+}
+
+// BatchOption tunes Service.Batch.
+type BatchOption func(*batchConfig)
+
+type batchConfig struct{ workers int }
+
+// WithBatchWorkers bounds the goroutines fanning jobs out (0 = all
+// cores). Results are identical for every worker count.
+func WithBatchWorkers(n int) BatchOption {
+	return func(c *batchConfig) { c.workers = n }
+}
+
+// Batch runs every job through the sharded plan cache on a worker pool
+// and collects results by job index, so the returned slice is
+// deterministic — each slot holds exactly what the equivalent serial
+// single-request sequence would have produced — whatever the worker
+// count or completion order. Per-job failures are recorded in the
+// job's slot; the call itself only fails when ctx is cancelled (and
+// then the result slice is nil).
+func (s *Service) Batch(ctx context.Context, jobs []Job, opts ...BatchOption) ([]JobResult, error) {
+	cfg := batchConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return par.MapCtx(ctx, cfg.workers, len(jobs), func(i int) (JobResult, error) {
+		return s.runJob(ctx, jobs[i]), nil
+	})
+}
+
+// runJob executes one batch job against the cache.
+func (s *Service) runJob(ctx context.Context, j Job) JobResult {
+	r := JobResult{Kind: j.Kind}
+	switch j.Kind {
+	case JobPlan, JobEstimate, JobSimulate:
+	default:
+		r.Err = fmt.Errorf("%w: unknown batch job kind %q", ErrBadScenario, j.Kind)
+		return r
+	}
+	if err := j.Scenario.Validate(); err != nil {
+		r.Err = err
+		return r
+	}
+	r.Key = j.Scenario.Key()
+	p, hit, err := s.planForKey(ctx, j.Scenario, r.Key)
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	r.Hit, r.Plan = hit, p
+	switch j.Kind {
+	case JobEstimate:
+		r.Estimate, r.Err = p.Estimate(ctx, j.Method, j.EstimateOptions...)
+	case JobSimulate:
+		r.Sim, r.Err = p.Simulate(ctx, j.SimOptions...)
+	}
+	return r
+}

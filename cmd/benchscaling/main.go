@@ -1,0 +1,207 @@
+// Command benchscaling measures the wall-clock parallel scaling of the
+// three hot paths — the §VI sweep grid, the discrete-event simulator
+// trial fan-out, and Service.Batch — at workers=1 versus
+// workers=NumCPU, and writes the measurements as JSON. It is the
+// `make bench-scaling` target behind CI's parallel-scaling job: on a
+// multicore runner it FAILS (exit 1) when any panel's parallel run is
+// slower than its serial run, closing the "re-measure on a multicore
+// box" caveat that per-op benchmarks on a 1-core container cannot.
+//
+//	benchscaling -out scaling.json -reps 3 -min-speedup 1.0
+//
+// Every measured workload is bit-identical across worker counts (that
+// is pinned by the test suite); this tool only measures time. On a
+// single-core host the gate is skipped (speedups are reported for the
+// record but prove nothing there).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	hanccr "repro"
+	"repro/internal/expt"
+)
+
+// result is the JSON artifact schema.
+type result struct {
+	GoVersion string  `json:"go_version"`
+	NumCPU    int     `json:"num_cpu"`
+	Reps      int     `json:"reps"`
+	Gated     bool    `json:"gated"` // false on single-core hosts
+	Panels    []panel `json:"panels"`
+}
+
+type panel struct {
+	Name            string  `json:"name"`
+	Workers         int     `json:"workers"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+}
+
+func main() {
+	out := flag.String("out", "scaling.json", "write the JSON artifact here")
+	reps := flag.Int("reps", 3, "measurement repetitions (best run counts)")
+	minSpeedup := flag.Float64("min-speedup", 1.0, "fail when a panel's parallel speedup drops below this (multicore hosts only)")
+	flag.Parse()
+
+	ctx := context.Background()
+	ncpu := runtime.NumCPU()
+
+	panels := []struct {
+		name string
+		run  func(ctx context.Context, workers int) error
+	}{
+		{"sweep", runSweepPanel},
+		{"sim", simPanel(ctx)},
+		{"batch", runBatchPanel},
+	}
+
+	res := result{
+		GoVersion: runtime.Version(),
+		NumCPU:    ncpu,
+		Reps:      *reps,
+		Gated:     ncpu > 1,
+	}
+	failed := false
+	for _, p := range panels {
+		// One untimed warm-up run fills the process-wide generator memo so
+		// serial and parallel measurements see identical cache state.
+		if err := p.run(ctx, ncpu); err != nil {
+			fatal(fmt.Errorf("%s warm-up: %w", p.name, err))
+		}
+		serial, err := best(ctx, *reps, 1, p.run)
+		if err != nil {
+			fatal(fmt.Errorf("%s serial: %w", p.name, err))
+		}
+		parallel, err := best(ctx, *reps, ncpu, p.run)
+		if err != nil {
+			fatal(fmt.Errorf("%s parallel: %w", p.name, err))
+		}
+		speedup := serial.Seconds() / parallel.Seconds()
+		res.Panels = append(res.Panels, panel{
+			Name: p.name, Workers: ncpu,
+			SerialSeconds:   serial.Seconds(),
+			ParallelSeconds: parallel.Seconds(),
+			Speedup:         speedup,
+		})
+		verdict := "ok"
+		if res.Gated && speedup < *minSpeedup {
+			verdict = fmt.Sprintf("FAIL (< %.2f)", *minSpeedup)
+			failed = true
+		}
+		fmt.Printf("%-6s workers=%d serial=%8.3fs parallel=%8.3fs speedup=%5.2fx  %s\n",
+			p.name, ncpu, serial.Seconds(), parallel.Seconds(), speedup, verdict)
+	}
+
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (num_cpu=%d, gated=%v)\n", *out, ncpu, res.Gated)
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchscaling: parallel wall-clock regressed below the serial baseline")
+		os.Exit(1)
+	}
+	if !res.Gated {
+		fmt.Println("benchscaling: single-core host, speedup gate skipped")
+	}
+}
+
+// best runs fn reps times at the given worker count and returns the
+// fastest wall-clock time — the standard way to strip scheduler noise
+// from a throughput measurement.
+func best(ctx context.Context, reps, workers int, fn func(context.Context, int) error) (time.Duration, error) {
+	bestD := time.Duration(0)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		if err := fn(ctx, workers); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); bestD == 0 || d < bestD {
+			bestD = d
+		}
+	}
+	return bestD, nil
+}
+
+// runSweepPanel is a §VI-style grid: the MONTAGE figure ranges at two
+// sizes, sized to run a few seconds serially on a CI runner.
+func runSweepPanel(ctx context.Context, workers int) error {
+	cfg := expt.SweepConfig{
+		Family:          "montage",
+		Sizes:           []int{50, 300},
+		PFails:          []float64{1e-4, 1e-3},
+		CCRMin:          1e-3,
+		CCRMax:          1,
+		PointsPerDecade: 10,
+		Seed:            42,
+		Workers:         workers,
+	}
+	_, err := expt.RunSweep(ctx, cfg)
+	return err
+}
+
+// simPanel plans one paper-sized scenario once and returns a runner
+// that fans simulator trials over the worker pool — the PR 2 hot path,
+// re-measured for wall clock.
+func simPanel(ctx context.Context) func(context.Context, int) error {
+	sc := hanccr.NewScenario(
+		hanccr.WithFamily("genome"), hanccr.WithTasks(300), hanccr.WithProcs(35),
+		hanccr.WithPFail(0.001), hanccr.WithCCR(0.01),
+	)
+	plan, err := hanccr.NewPlan(ctx, sc)
+	if err != nil {
+		fatal(err)
+	}
+	return func(ctx context.Context, workers int) error {
+		_, err := plan.Simulate(ctx, hanccr.WithSimTrials(400000), hanccr.WithSimWorkers(workers))
+		return err
+	}
+}
+
+// runBatchPanel cold-plans a set of distinct scenarios through a fresh
+// sharded Service.Batch — the service-layer fan-out (scheduling +
+// checkpoint placement per job; workflow generation is memoized
+// process-wide, so repetitions measure planning, not parsing).
+func runBatchPanel(ctx context.Context, workers int) error {
+	families := []string{"genome", "montage", "ligo", "cybershake"}
+	var jobs []hanccr.Job
+	for i := 0; i < 32; i++ {
+		jobs = append(jobs, hanccr.Job{
+			Kind: hanccr.JobPlan,
+			Scenario: hanccr.NewScenario(
+				hanccr.WithFamily(families[i%len(families)]),
+				hanccr.WithTasks(1000), hanccr.WithProcs(70),
+				hanccr.WithSeed(int64(1+i/len(families))),
+				hanccr.WithCCR(0.01),
+			),
+		})
+	}
+	svc := hanccr.NewService(hanccr.WithShards(16))
+	results, err := svc.Batch(ctx, jobs, hanccr.WithBatchWorkers(workers))
+	if err != nil {
+		return err
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("job %d: %w", i, r.Err)
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchscaling:", err)
+	os.Exit(1)
+}

@@ -1,17 +1,23 @@
 // Command serve is the long-lived plan/estimate daemon: a hanccr.Service
-// behind HTTP/JSON.
+// (sharded plan LRU, batch fan-out) behind HTTP/JSON.
 //
-//	serve -addr :8080 -cache 256
+//	serve -addr :8080 -cache 256 -shards 8
+//	serve -warm scenarios.jsonl -log-scenarios scenarios.jsonl
 //
 // Endpoints:
 //
 //	POST /v1/plan      {"family":"genome","tasks":300,"procs":35,"ccr":0.1}
 //	POST /v1/estimate  {...scenario..., "method":"Dodin"}
 //	POST /v1/simulate  {...scenario..., "trials":2000}
+//	POST /v1/batch     {"jobs":[{"kind":"plan",...},{"kind":"estimate",...}]}
+//	POST /v1/sweep     {"family":"montage","sizes":[300]}
 //	GET  /healthz
 //
 // Scenario fields omitted from a request take the same defaults as the
-// CLI flag block. SIGINT/SIGTERM drain in-flight requests before exit.
+// CLI flag block. -warm replays a JSONL scenario log through the cache
+// before listening; -log-scenarios records live traffic in the same
+// format, so a restart warms from what the previous process served.
+// SIGINT/SIGTERM drain in-flight requests before exit.
 package main
 
 import (
@@ -30,15 +36,40 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	cache := flag.Int("cache", hanccr.DefaultCacheCapacity, "plan LRU capacity (scenarios)")
-	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+	sf := hanccr.BindServeFlags(flag.CommandLine)
 	flag.Parse()
 
-	svc := hanccr.NewService(hanccr.WithCacheCapacity(*cache))
+	svc := sf.Service()
+	if sf.Warm != "" {
+		f, err := os.Open(sf.Warm)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		warmed, failed, err := svc.WarmFromLog(context.Background(), f, sf.WarmWorkers)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("warm %s: %w", sf.Warm, err))
+		}
+		log.Printf("serve: warmed %d scenarios from %s in %s (%d failed)",
+			warmed, sf.Warm, time.Since(start).Truncate(time.Millisecond), failed)
+	}
+
+	var handlerOpts []hanccr.HandlerOption
+	var logFile *os.File
+	if sf.LogScenarios != "" {
+		f, err := os.OpenFile(sf.LogScenarios, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		logFile = f
+		handlerOpts = append(handlerOpts, hanccr.WithScenarioLog(hanccr.NewScenarioLog(f)))
+		log.Printf("serve: recording scenario traffic to %s", sf.LogScenarios)
+	}
+
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           logRequests(hanccr.NewHandler(svc)),
+		Addr:              sf.Addr,
+		Handler:           logRequests(hanccr.NewHandler(svc, handlerOpts...)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -47,7 +78,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("serve: listening on %s (cache capacity %d)", *addr, *cache)
+		log.Printf("serve: listening on %s (cache capacity %d over %d shards)", sf.Addr, sf.Cache, sf.Shards)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -56,11 +87,16 @@ func main() {
 		fatal(err)
 	case <-ctx.Done():
 	}
-	log.Printf("serve: shutting down (draining up to %s)", *drain)
-	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	log.Printf("serve: shutting down (draining up to %s)", sf.Drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), sf.Drain)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
 		fatal(err)
+	}
+	if logFile != nil {
+		if err := logFile.Close(); err != nil {
+			fatal(fmt.Errorf("close %s: %w", sf.LogScenarios, err))
+		}
 	}
 	st := svc.Stats()
 	log.Printf("serve: bye (%d cached plans, %d hits / %d misses)", st.Entries, st.Hits, st.Misses)

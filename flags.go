@@ -3,6 +3,7 @@ package hanccr
 import (
 	"flag"
 	"fmt"
+	"time"
 )
 
 // ScenarioFlags is the one shared flag block behind every CLI: it
@@ -99,6 +100,44 @@ func BindScenarioFlags(fs *flag.FlagSet, names ...string) *ScenarioFlags {
 		fs.BoolVar(&f.Ragged, "ragged", f.Ragged, "ligo only: emit the PWG non-M-SPG artifact plus dummy completion")
 	}
 	return f
+}
+
+// ServeFlags is the daemon's flag block (cmd/serve): listen address,
+// cache geometry and the scenario-log warm-up knobs, defined in one
+// place like the scenario flags so daemon deployments cannot drift
+// from the documented defaults.
+type ServeFlags struct {
+	Addr         string
+	Cache        int
+	Shards       int
+	Drain        time.Duration
+	Warm         string
+	LogScenarios string
+	WarmWorkers  int
+}
+
+// BindServeFlags registers the daemon flags on fs and returns the
+// struct they parse into.
+func BindServeFlags(fs *flag.FlagSet) *ServeFlags {
+	f := &ServeFlags{
+		Addr:   ":8080",
+		Cache:  DefaultCacheCapacity,
+		Shards: DefaultShards,
+		Drain:  10 * time.Second,
+	}
+	fs.StringVar(&f.Addr, "addr", f.Addr, "listen address")
+	fs.IntVar(&f.Cache, "cache", f.Cache, "plan LRU capacity in scenarios, split across the shards")
+	fs.IntVar(&f.Shards, "shards", f.Shards, "plan cache shard count (1 = a single global LRU)")
+	fs.DurationVar(&f.Drain, "drain", f.Drain, "graceful shutdown timeout")
+	fs.StringVar(&f.Warm, "warm", "", "JSONL scenario log to replay through the cache at boot")
+	fs.StringVar(&f.LogScenarios, "log-scenarios", "", "append live scenario traffic to this JSONL file (feed it back via -warm)")
+	fs.IntVar(&f.WarmWorkers, "warm-workers", 0, "goroutines replaying the warm log (0 = all cores)")
+	return f
+}
+
+// Service builds the planner the parsed daemon flags describe.
+func (f *ServeFlags) Service() *Service {
+	return NewService(WithCacheCapacity(f.Cache), WithShards(f.Shards))
 }
 
 // Scenario builds and validates the scenario the parsed flags

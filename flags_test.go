@@ -49,6 +49,41 @@ func TestScenarioFlagsSubset(t *testing.T) {
 	BindScenarioFlags(flag.NewFlagSet("y", flag.ContinueOnError), "familly")
 }
 
+// TestBindServeFlagsDefaults pins the daemon flag block: defaults
+// match the documented constants and a parsed command line reaches the
+// struct.
+func TestBindServeFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	sf := BindServeFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if sf.Addr != ":8080" || sf.Cache != DefaultCacheCapacity || sf.Shards != DefaultShards ||
+		sf.Warm != "" || sf.LogScenarios != "" || sf.WarmWorkers != 0 {
+		t.Fatalf("serve defaults = %+v", sf)
+	}
+	if st := sf.Service().Stats(); st.Shards != DefaultShards || st.Capacity < DefaultCacheCapacity {
+		t.Fatalf("default service stats = %+v", st)
+	}
+
+	fs = flag.NewFlagSet("serve", flag.ContinueOnError)
+	sf = BindServeFlags(fs)
+	err := fs.Parse([]string{
+		"-addr", ":9090", "-cache", "64", "-shards", "4",
+		"-warm", "w.jsonl", "-log-scenarios", "s.jsonl", "-warm-workers", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.Addr != ":9090" || sf.Cache != 64 || sf.Shards != 4 ||
+		sf.Warm != "w.jsonl" || sf.LogScenarios != "s.jsonl" || sf.WarmWorkers != 2 {
+		t.Fatalf("parsed serve flags = %+v", sf)
+	}
+	if st := sf.Service().Stats(); st.Shards != 4 || st.Capacity != 64 {
+		t.Fatalf("parsed service stats = %+v", st)
+	}
+}
+
 // TestScenarioFlagsParse exercises a realistic command line end to end,
 // including strategy pass-through and the input-file path.
 func TestScenarioFlagsParse(t *testing.T) {

@@ -7,71 +7,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"repro/internal/expt"
+	"repro/internal/pegasus"
 )
-
-// ScenarioRequest is the JSON scenario shape shared by every /v1
-// endpoint. Omitted fields take the shared defaults; pfail, ccr and
-// seed are pointers so an explicit zero survives the trip.
-type ScenarioRequest struct {
-	Family     string   `json:"family,omitempty"`
-	Tasks      int      `json:"tasks,omitempty"`
-	Procs      int      `json:"procs,omitempty"`
-	PFail      *float64 `json:"pfail,omitempty"`
-	CCR        *float64 `json:"ccr,omitempty"`
-	Seed       *int64   `json:"seed,omitempty"`
-	Bandwidth  float64  `json:"bandwidth,omitempty"`
-	Ragged     bool     `json:"ragged,omitempty"`
-	Strategy   string   `json:"strategy,omitempty"`
-	ExactModel bool     `json:"exact_model,omitempty"`
-	// WorkflowJSON injects a workflow document (the native JSON schema)
-	// instead of generating a family.
-	WorkflowJSON json.RawMessage `json:"workflow_json,omitempty"`
-	// WorkflowName labels an injected workflow (default "inline").
-	WorkflowName string `json:"workflow_name,omitempty"`
-}
-
-// Scenario converts the request into a Scenario value.
-func (r ScenarioRequest) Scenario() Scenario {
-	var opts []ScenarioOption
-	if r.Family != "" {
-		opts = append(opts, WithFamily(r.Family))
-	}
-	if r.Tasks != 0 {
-		opts = append(opts, WithTasks(r.Tasks))
-	}
-	if r.Procs != 0 {
-		opts = append(opts, WithProcs(r.Procs))
-	}
-	if r.PFail != nil {
-		opts = append(opts, WithPFail(*r.PFail))
-	}
-	if r.CCR != nil {
-		opts = append(opts, WithCCR(*r.CCR))
-	}
-	if r.Seed != nil {
-		opts = append(opts, WithSeed(*r.Seed))
-	}
-	if r.Bandwidth != 0 {
-		opts = append(opts, WithBandwidth(r.Bandwidth))
-	}
-	if r.Ragged {
-		opts = append(opts, WithRagged(true))
-	}
-	if r.Strategy != "" {
-		opts = append(opts, WithStrategy(Strategy(r.Strategy)))
-	}
-	if r.ExactModel {
-		opts = append(opts, WithExactCostModel())
-	}
-	if len(r.WorkflowJSON) > 0 {
-		name := r.WorkflowName
-		if name == "" {
-			name = "inline"
-		}
-		opts = append(opts, WithWorkflow(name, "json", r.WorkflowJSON))
-	}
-	return NewScenario(opts...)
-}
 
 // PlanResponse is the body of POST /v1/plan.
 type PlanResponse struct {
@@ -120,6 +59,93 @@ type SimulateResponse struct {
 	MeanFailures float64 `json:"mean_failures"`
 }
 
+// BatchJobRequest is one job of a POST /v1/batch body: a scenario plus
+// the kind of work ("plan" | "estimate" | "simulate") and that kind's
+// tuning fields — the union of the single-endpoint request shapes.
+type BatchJobRequest struct {
+	ScenarioRequest
+	Kind     string `json:"kind"`
+	Method   string `json:"method,omitempty"`
+	MCTrials int    `json:"mc_trials,omitempty"`
+	MCSeed   *int64 `json:"mc_seed,omitempty"`
+	Trials   int    `json:"trials,omitempty"`
+	SimSeed  *int64 `json:"sim_seed,omitempty"`
+	Workers  int    `json:"workers,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch. Workers bounds the
+// goroutines fanning the jobs out (0 = all cores); results are
+// byte-identical for every worker count.
+type BatchRequest struct {
+	Workers int               `json:"workers,omitempty"`
+	Jobs    []BatchJobRequest `json:"jobs"`
+}
+
+// BatchResult is one slot of a BatchResponse: exactly one of Plan,
+// Estimate or Simulate is set on success — byte-identical to the
+// response the matching single endpoint returns for the same job — or
+// Error/Status carry the job's failure.
+type BatchResult struct {
+	Plan     *PlanResponse     `json:"plan,omitempty"`
+	Estimate *EstimateResponse `json:"estimate,omitempty"`
+	Simulate *SimulateResponse `json:"simulate,omitempty"`
+	Error    string            `json:"error,omitempty"`
+	Status   int               `json:"status,omitempty"`
+}
+
+// BatchResponse is the body of POST /v1/batch; Results[i] answers
+// Jobs[i].
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
+// SweepRequest is the body of POST /v1/sweep: a §VI-style grid over
+// one workflow family. Omitted fields take the paper's grid for the
+// family (expt.FigureConfig) — an empty body sweeps the full Figure 5
+// GENOME panel. Seed follows the experiment engine's convention: 0
+// (or omitted) selects the paper's seed 42, unlike the single-scenario
+// endpoints where an explicit seed 0 is honored. Workers bounds the
+// cell fan-out (0 = all cores); rows are byte-identical for every
+// worker count.
+type SweepRequest struct {
+	Family          string    `json:"family,omitempty"`
+	Sizes           []int     `json:"sizes,omitempty"`
+	Procs           []int     `json:"procs,omitempty"`
+	PFails          []float64 `json:"pfails,omitempty"`
+	CCRMin          float64   `json:"ccr_min,omitempty"`
+	CCRMax          float64   `json:"ccr_max,omitempty"`
+	PointsPerDecade int       `json:"points_per_decade,omitempty"`
+	Seed            int64     `json:"seed,omitempty"`
+	Bandwidth       float64   `json:"bandwidth,omitempty"`
+	Ragged          bool      `json:"ragged,omitempty"`
+	Workers         int       `json:"workers,omitempty"`
+}
+
+// SweepRow is one grid cell of a SweepResponse, in canonical (size,
+// procs, pfail, ccr) order.
+type SweepRow struct {
+	Family          string  `json:"family"`
+	Tasks           int     `json:"tasks"`
+	Procs           int     `json:"procs"`
+	PFail           float64 `json:"pfail"`
+	CCR             float64 `json:"ccr"`
+	EMSome          float64 `json:"em_some"`
+	EMAll           float64 `json:"em_all"`
+	EMNone          float64 `json:"em_none"`
+	RelAll          float64 `json:"rel_all"`
+	RelNone         float64 `json:"rel_none"`
+	CheckpointsSome int     `json:"checkpoints_some"`
+	Superchains     int     `json:"superchains"`
+	WPar            float64 `json:"w_par"`
+}
+
+// SweepResponse is the body of POST /v1/sweep.
+type SweepResponse struct {
+	Family string     `json:"family"`
+	Cells  int        `json:"cells"`
+	Rows   []SweepRow `json:"rows"`
+}
+
 // HealthResponse is the body of GET /healthz.
 type HealthResponse struct {
 	Status string `json:"status"`
@@ -137,6 +163,19 @@ const maxRequestBody = 16 << 20
 // (the paper's ground truth uses 300k).
 const maxHTTPTrials = 10_000_000
 
+// maxBatchJobs bounds one /v1/batch request.
+const maxBatchJobs = 1024
+
+// maxBatchTrials bounds the SUM of trial counts across one batch —
+// per-job caps alone would let maxBatchJobs jobs each carry
+// maxHTTPTrials, three orders of magnitude more work than any single
+// request may demand.
+const maxBatchTrials = 100_000_000
+
+// maxSweepCells bounds one /v1/sweep grid (the full paper panels are a
+// few hundred cells each).
+const maxSweepCells = 10_000
+
 // checkTrials rejects per-request trial counts the daemon is unwilling
 // to allocate. Zero means "use the default" and passes.
 func checkTrials(n int) error {
@@ -146,17 +185,41 @@ func checkTrials(n int) error {
 	return nil
 }
 
+// HandlerOption configures NewHandler.
+type HandlerOption func(*handlerConfig)
+
+type handlerConfig struct {
+	slog *ScenarioLog
+}
+
+// WithScenarioLog records every successfully planned scenario request
+// (single endpoints and batch jobs; sweeps are grids, not scenarios)
+// to l, one JSONL line each, so a restart can warm the cache from the
+// log (Service.WarmFromLog). Log write failures never fail the request
+// that triggered them.
+func WithScenarioLog(l *ScenarioLog) HandlerOption {
+	return func(c *handlerConfig) { c.slog = l }
+}
+
 // NewHandler exposes svc over HTTP/JSON:
 //
 //	POST /v1/plan      — plan a scenario, returns the plan summary
 //	POST /v1/estimate  — plan + estimate with a chosen method
 //	POST /v1/simulate  — plan + discrete-event simulation summary
+//	POST /v1/batch     — heterogeneous plan/estimate/simulate jobs, fanned over a worker pool
+//	POST /v1/sweep     — a §VI-style (family, size, pfail, CCR) grid of strategy comparisons
 //	GET  /healthz      — liveness plus cache statistics
 //
 // Responses are deterministic functions of the request, so a cache hit
 // is byte-identical to the cold miss that filled it; the X-Cache
-// response header (hit | miss) is the only difference.
-func NewHandler(svc *Service) http.Handler {
+// response header (hit | miss, single-scenario endpoints only) is the
+// only difference. Batch results and sweep rows are collected by index
+// and therefore byte-identical for every worker count.
+func NewHandler(svc *Service, opts ...HandlerOption) http.Handler {
+	var cfg handlerConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Cache: svc.Stats()})
@@ -172,6 +235,7 @@ func NewHandler(svc *Service) http.Handler {
 			writeError(w, err)
 			return
 		}
+		cfg.record(req, hit)
 		w.Header().Set("X-Cache", cacheHeader(hit))
 		writeJSON(w, http.StatusOK, planResponse(key, plan))
 	})
@@ -180,31 +244,26 @@ func NewHandler(svc *Service) http.Handler {
 		if !readJSON(w, r, &req) {
 			return
 		}
+		// Reject over-cap trial counts before planning: the cap exists to
+		// stop the work, so the request must not run at all (the batch
+		// endpoint's checkCaps makes the same promise).
+		if err := checkTrials(req.MCTrials); err != nil {
+			writeError(w, err)
+			return
+		}
 		sc := req.Scenario()
 		plan, key, hit, err := planOnce(r.Context(), svc, sc)
 		if err != nil {
 			writeError(w, err)
 			return
 		}
-		if err := checkTrials(req.MCTrials); err != nil {
-			writeError(w, err)
-			return
-		}
-		var opts []EstimateOption
-		if req.MCTrials != 0 {
-			opts = append(opts, WithMCTrials(req.MCTrials))
-		}
-		if req.MCSeed != nil {
-			opts = append(opts, WithMCSeed(*req.MCSeed))
-		}
-		if req.Workers != 0 {
-			opts = append(opts, WithEstimateWorkers(req.Workers))
-		}
-		em, err := plan.Estimate(r.Context(), Method(req.Method), opts...)
+		em, err := plan.Estimate(r.Context(), Method(req.Method),
+			estimateOptions(req.MCTrials, req.MCSeed, req.Workers)...)
 		if err != nil {
 			writeError(w, err)
 			return
 		}
+		cfg.record(req.ScenarioRequest, hit)
 		w.Header().Set("X-Cache", cacheHeader(hit))
 		writeJSON(w, http.StatusOK, EstimateResponse{Key: key, Method: req.Method, ExpectedMakespan: em})
 	})
@@ -213,38 +272,290 @@ func NewHandler(svc *Service) http.Handler {
 		if !readJSON(w, r, &req) {
 			return
 		}
+		if err := checkTrials(req.Trials); err != nil {
+			writeError(w, err)
+			return
+		}
 		sc := req.Scenario()
 		plan, key, hit, err := planOnce(r.Context(), svc, sc)
 		if err != nil {
 			writeError(w, err)
 			return
 		}
-		if err := checkTrials(req.Trials); err != nil {
-			writeError(w, err)
-			return
-		}
-		var opts []SimOption
-		if req.Trials != 0 {
-			opts = append(opts, WithSimTrials(req.Trials))
-		}
-		if req.SimSeed != nil {
-			opts = append(opts, WithSimSeed(*req.SimSeed))
-		}
-		if req.Workers != 0 {
-			opts = append(opts, WithSimWorkers(req.Workers))
-		}
-		res, err := plan.Simulate(r.Context(), opts...)
+		res, err := plan.Simulate(r.Context(), simOptions(req.Trials, req.SimSeed, req.Workers)...)
 		if err != nil {
 			writeError(w, err)
 			return
 		}
+		cfg.record(req.ScenarioRequest, hit)
 		w.Header().Set("X-Cache", cacheHeader(hit))
 		writeJSON(w, http.StatusOK, SimulateResponse{
 			Key: key, Trials: res.Trials,
 			Mean: res.Mean, StdDev: res.StdDev, CI95: res.CI95, MeanFailures: res.MeanFailures,
 		})
 	})
+	mux.HandleFunc("/v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req BatchRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if len(req.Jobs) == 0 {
+			writeError(w, fmt.Errorf("%w: batch request needs at least one job", ErrBadScenario))
+			return
+		}
+		if len(req.Jobs) > maxBatchJobs {
+			writeError(w, fmt.Errorf("%w: %d jobs above the daemon limit of %d", ErrBadScenario, len(req.Jobs), maxBatchJobs))
+			return
+		}
+		if total := batchTrials(req.Jobs); total > maxBatchTrials {
+			writeError(w, fmt.Errorf("%w: %d total trials across the batch above the daemon limit of %d", ErrBadScenario, total, maxBatchTrials))
+			return
+		}
+		resp := BatchResponse{Results: make([]BatchResult, len(req.Jobs))}
+		// Jobs with a trial count above the daemon cap are rejected up
+		// front — the cap exists to stop the allocation, so the job must
+		// not run at all. Everything else executes and reports per slot.
+		var jobs []Job
+		var idx []int
+		for i, jr := range req.Jobs {
+			if err := jr.checkCaps(); err != nil {
+				resp.Results[i] = BatchResult{Error: err.Error(), Status: errorStatus(err)}
+				continue
+			}
+			jobs = append(jobs, jr.job())
+			idx = append(idx, i)
+		}
+		results, err := svc.Batch(r.Context(), jobs, WithBatchWorkers(req.Workers))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		for k, res := range results {
+			i := idx[k]
+			resp.Results[i] = batchResult(req.Jobs[i], res)
+			if res.Err == nil {
+				cfg.record(req.Jobs[i].ScenarioRequest, res.Hit)
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		var req SweepRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		scfg, err := req.sweepConfig()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		rows, err := expt.RunSweep(r.Context(), scfg)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		resp := SweepResponse{Family: scfg.Family, Cells: len(rows), Rows: make([]SweepRow, len(rows))}
+		for i, row := range rows {
+			resp.Rows[i] = SweepRow{
+				Family: row.Family, Tasks: row.Tasks, Procs: row.Procs,
+				PFail: row.PFail, CCR: row.CCR,
+				EMSome: row.EMSome, EMAll: row.EMAll, EMNone: row.EMNone,
+				RelAll: row.RelAll, RelNone: row.RelNone,
+				CheckpointsSome: row.CheckpointsSome, Superchains: row.Superchains,
+				WPar: row.WPar,
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
 	return mux
+}
+
+// record appends one scenario line to the configured log, if any.
+// Cache hits are skipped: logging only the misses keeps the file near
+// the distinct-scenario count instead of growing with total traffic —
+// essential when the same file is both -log-scenarios and the next
+// boot's -warm.
+func (c *handlerConfig) record(req ScenarioRequest, hit bool) {
+	if hit {
+		return
+	}
+	// A log write failure must not fail the planning request it rode on;
+	// the daemon surfaces file errors when it closes the log.
+	_ = c.slog.Record(req)
+}
+
+// batchTrials sums the simulation / Monte Carlo trial demand of a
+// batch, counting the documented defaults for unset fields.
+func batchTrials(jobs []BatchJobRequest) int {
+	total := 0
+	for _, jr := range jobs {
+		switch JobKind(jr.Kind) {
+		case JobEstimate:
+			if jr.MCTrials > 0 {
+				total += jr.MCTrials
+			} else {
+				total += DefaultMCTrials
+			}
+		case JobSimulate:
+			if jr.Trials > 0 {
+				total += jr.Trials
+			} else {
+				total += DefaultSimTrials
+			}
+		}
+	}
+	return total
+}
+
+// job translates one wire job into a Service.Batch job, mirroring
+// exactly how the single endpoints translate their request fields so a
+// batch slot cannot drift from the equivalent single request.
+func (jr BatchJobRequest) job() Job {
+	j := Job{Kind: JobKind(jr.Kind), Scenario: jr.Scenario()}
+	switch j.Kind {
+	case JobEstimate:
+		j.Method = Method(jr.Method)
+		j.EstimateOptions = estimateOptions(jr.MCTrials, jr.MCSeed, jr.Workers)
+	case JobSimulate:
+		j.SimOptions = simOptions(jr.Trials, jr.SimSeed, jr.Workers)
+	}
+	return j
+}
+
+// checkCaps rejects per-job trial counts above the daemon limit.
+func (jr BatchJobRequest) checkCaps() error {
+	switch JobKind(jr.Kind) {
+	case JobEstimate:
+		return checkTrials(jr.MCTrials)
+	case JobSimulate:
+		return checkTrials(jr.Trials)
+	}
+	return nil
+}
+
+// batchResult renders one job outcome with the same response structs
+// the single endpoints use (the byte-identity contract).
+func batchResult(jr BatchJobRequest, res JobResult) BatchResult {
+	if res.Err != nil {
+		return BatchResult{Error: res.Err.Error(), Status: errorStatus(res.Err)}
+	}
+	switch res.Kind {
+	case JobEstimate:
+		return BatchResult{Estimate: &EstimateResponse{Key: res.Key, Method: jr.Method, ExpectedMakespan: res.Estimate}}
+	case JobSimulate:
+		return BatchResult{Simulate: &SimulateResponse{
+			Key: res.Key, Trials: res.Sim.Trials,
+			Mean: res.Sim.Mean, StdDev: res.Sim.StdDev, CI95: res.Sim.CI95, MeanFailures: res.Sim.MeanFailures,
+		}}
+	default:
+		pr := planResponse(res.Key, res.Plan)
+		return BatchResult{Plan: &pr}
+	}
+}
+
+// sweepConfig validates the request and translates it into the
+// experiment engine's grid, defaulting to the paper's figure grid for
+// the family.
+func (r SweepRequest) sweepConfig() (expt.SweepConfig, error) {
+	family := r.Family
+	if family == "" {
+		family = DefaultFamily
+	}
+	known := false
+	for _, f := range pegasus.Families() {
+		if f == family {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return expt.SweepConfig{}, fmt.Errorf("%w: unknown family %q (have %v)", ErrBadScenario, family, pegasus.Families())
+	}
+	cfg := expt.FigureConfig(family)
+	if len(r.Sizes) > 0 {
+		cfg.Sizes = r.Sizes
+	}
+	if len(r.Procs) > 0 {
+		cfg.Procs = r.Procs
+	}
+	if len(r.PFails) > 0 {
+		cfg.PFails = r.PFails
+	}
+	if r.CCRMin > 0 {
+		cfg.CCRMin = r.CCRMin
+	}
+	if r.CCRMax > 0 {
+		cfg.CCRMax = r.CCRMax
+	}
+	if r.PointsPerDecade > 0 {
+		cfg.PointsPerDecade = r.PointsPerDecade
+	}
+	if r.Seed != 0 {
+		cfg.Seed = r.Seed
+	}
+	if r.Bandwidth > 0 {
+		cfg.Bandwidth = r.Bandwidth
+	}
+	cfg.Ragged = r.Ragged
+	cfg.Workers = r.Workers
+	for _, n := range cfg.Sizes {
+		if n < 1 {
+			return expt.SweepConfig{}, fmt.Errorf("%w: need at least one task, got size %d", ErrBadScenario, n)
+		}
+	}
+	for _, p := range cfg.Procs {
+		if p < 1 {
+			return expt.SweepConfig{}, fmt.Errorf("%w: need at least one processor, got %d", ErrBadScenario, p)
+		}
+	}
+	for _, pf := range cfg.PFails {
+		if pf < 0 || pf >= 1 {
+			return expt.SweepConfig{}, fmt.Errorf("%w: pfail %g outside [0, 1)", ErrBadScenario, pf)
+		}
+	}
+	if cfg.CCRMin <= 0 || cfg.CCRMax < cfg.CCRMin {
+		return expt.SweepConfig{}, fmt.Errorf("%w: bad CCR range [%g, %g]", ErrBadScenario, cfg.CCRMin, cfg.CCRMax)
+	}
+	n := cfg.NumCells()
+	if n == 0 {
+		return expt.SweepConfig{}, fmt.Errorf("%w: sweep grid is empty", ErrBadScenario)
+	}
+	if n > maxSweepCells {
+		return expt.SweepConfig{}, fmt.Errorf("%w: sweep grid of %d cells above the daemon limit of %d", ErrBadScenario, n, maxSweepCells)
+	}
+	return cfg, nil
+}
+
+// estimateOptions translates wire estimate knobs into façade options —
+// the one mapping /v1/estimate and /v1/batch share.
+func estimateOptions(trials int, seed *int64, workers int) []EstimateOption {
+	var opts []EstimateOption
+	if trials != 0 {
+		opts = append(opts, WithMCTrials(trials))
+	}
+	if seed != nil {
+		opts = append(opts, WithMCSeed(*seed))
+	}
+	if workers != 0 {
+		opts = append(opts, WithEstimateWorkers(workers))
+	}
+	return opts
+}
+
+// simOptions translates wire simulation knobs into façade options —
+// the one mapping /v1/simulate and /v1/batch share.
+func simOptions(trials int, seed *int64, workers int) []SimOption {
+	var opts []SimOption
+	if trials != 0 {
+		opts = append(opts, WithSimTrials(trials))
+	}
+	if seed != nil {
+		opts = append(opts, WithSimSeed(*seed))
+	}
+	if workers != 0 {
+		opts = append(opts, WithSimWorkers(workers))
+	}
+	return opts
 }
 
 // planOnce validates, hashes and plans a request scenario, computing
@@ -307,21 +618,24 @@ func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	return true
 }
 
-// writeError maps façade errors onto HTTP statuses: invalid input is
+// errorStatus maps façade errors onto HTTP statuses: invalid input is
 // the client's fault (400), a structurally impossible workflow is 422,
 // a cancelled request 499-style 503, anything else 500.
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+func errorStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrBadScenario), errors.Is(err, ErrParse),
 		errors.Is(err, ErrUnknownMethod), errors.Is(err, ErrUnknownStrategy):
-		status = http.StatusBadRequest
+		return http.StatusBadRequest
 	case errors.Is(err, ErrNotMSPG):
-		status = http.StatusUnprocessableEntity
+		return http.StatusUnprocessableEntity
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusServiceUnavailable
+		return http.StatusServiceUnavailable
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	return http.StatusInternalServerError
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, errorStatus(err), map[string]string{"error": err.Error()})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -145,6 +145,19 @@ func (c SweepConfig) enumerate() []gridPoint {
 	return pts
 }
 
+// NumCells returns how many cells the sweep's grid enumerates (after
+// defaulting), without materializing them — servers use it to bound a
+// requested grid before committing to run it.
+func (c SweepConfig) NumCells() int {
+	c = c.withDefaults()
+	ccrs := len(CCRGrid(c.CCRMin, c.CCRMax, c.PointsPerDecade))
+	cols := 0
+	for _, size := range c.Sizes {
+		cols += len(c.procsFor(size))
+	}
+	return cols * len(c.PFails) * ccrs
+}
+
 // RunSweep evaluates the three strategies over the full grid of one
 // figure. For each (size, procs, pfail, ccr) point the memoized workflow
 // is cloned, its file sizes rescaled to hit the CCR, λ calibrated from

@@ -101,6 +101,28 @@ func ForEachWithCtx[S any](ctx context.Context, workers, n int, setup func() S, 
 	return nil
 }
 
+// MapCtx runs fn(0), …, fn(n-1) on a pool of the given size and
+// collects the results by index: out[i] is fn(i)'s value, whatever the
+// worker count or completion order. It is the collection shape
+// Service.Batch and the warm-up replay use — ForEachCtx with the
+// index-addressed result slice owned here instead of by the caller.
+// On error the first-index failure is returned and the slice is nil.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEachCtx(ctx, workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Chunk is the trial count of one chunked-sampling work unit (Monte
 // Carlo, simulator trials). The chunking — and therefore every drawn
 // sample — depends only on the trial count and seed, never on the worker

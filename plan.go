@@ -178,6 +178,14 @@ func (p *Plan) Segments() []SegmentInfo {
 	return out
 }
 
+// DefaultMCTrials is the Monte Carlo trial count Estimate uses when
+// none is configured.
+const DefaultMCTrials = 10000
+
+// DefaultSimTrials is the trial count Simulate uses when none is
+// configured.
+const DefaultSimTrials = 2000
+
 // EstimateOption tunes Estimate.
 type EstimateOption func(*estimateConfig)
 
@@ -223,7 +231,7 @@ func (p *Plan) ensureDAG() (*probdag.Graph, error) {
 // ignore the options; MonteCarlo honours trials/seed/workers and is
 // bit-identical for every worker count.
 func (p *Plan) Estimate(ctx context.Context, m Method, opts ...EstimateOption) (float64, error) {
-	cfg := estimateConfig{trials: 10000, seed: p.scenario.seed}
+	cfg := estimateConfig{trials: DefaultMCTrials, seed: p.scenario.seed}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -297,7 +305,7 @@ func WithSimWorkers(n int) SimOption { return func(c *simConfig) { c.workers = n
 // Estimate. CkptNone plans use the whole-restart semantics underlying
 // Theorem 1.
 func (p *Plan) Simulate(ctx context.Context, opts ...SimOption) (SimResult, error) {
-	cfg := simConfig{trials: 2000, seed: p.scenario.seed}
+	cfg := simConfig{trials: DefaultSimTrials, seed: p.scenario.seed}
 	for _, o := range opts {
 		o(&cfg)
 	}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -235,6 +236,72 @@ func (s Scenario) Key() string {
 		h.Write(s.graph)
 	}
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ScenarioRequest is the wire shape of a scenario: the JSON schema
+// shared by every /v1 endpoint, each /v1/batch job, and each line of a
+// JSONL scenario log (see ScenarioLog / Service.WarmFromLog). Omitted
+// fields take the shared defaults; pfail, ccr and seed are pointers so
+// an explicit zero survives the trip.
+type ScenarioRequest struct {
+	Family     string   `json:"family,omitempty"`
+	Tasks      int      `json:"tasks,omitempty"`
+	Procs      int      `json:"procs,omitempty"`
+	PFail      *float64 `json:"pfail,omitempty"`
+	CCR        *float64 `json:"ccr,omitempty"`
+	Seed       *int64   `json:"seed,omitempty"`
+	Bandwidth  float64  `json:"bandwidth,omitempty"`
+	Ragged     bool     `json:"ragged,omitempty"`
+	Strategy   string   `json:"strategy,omitempty"`
+	ExactModel bool     `json:"exact_model,omitempty"`
+	// WorkflowJSON injects a workflow document (the native JSON schema)
+	// instead of generating a family.
+	WorkflowJSON json.RawMessage `json:"workflow_json,omitempty"`
+	// WorkflowName labels an injected workflow (default "inline").
+	WorkflowName string `json:"workflow_name,omitempty"`
+}
+
+// Scenario converts the request into a Scenario value.
+func (r ScenarioRequest) Scenario() Scenario {
+	var opts []ScenarioOption
+	if r.Family != "" {
+		opts = append(opts, WithFamily(r.Family))
+	}
+	if r.Tasks != 0 {
+		opts = append(opts, WithTasks(r.Tasks))
+	}
+	if r.Procs != 0 {
+		opts = append(opts, WithProcs(r.Procs))
+	}
+	if r.PFail != nil {
+		opts = append(opts, WithPFail(*r.PFail))
+	}
+	if r.CCR != nil {
+		opts = append(opts, WithCCR(*r.CCR))
+	}
+	if r.Seed != nil {
+		opts = append(opts, WithSeed(*r.Seed))
+	}
+	if r.Bandwidth != 0 {
+		opts = append(opts, WithBandwidth(r.Bandwidth))
+	}
+	if r.Ragged {
+		opts = append(opts, WithRagged(true))
+	}
+	if r.Strategy != "" {
+		opts = append(opts, WithStrategy(Strategy(r.Strategy)))
+	}
+	if r.ExactModel {
+		opts = append(opts, WithExactCostModel())
+	}
+	if len(r.WorkflowJSON) > 0 {
+		name := r.WorkflowName
+		if name == "" {
+			name = "inline"
+		}
+		opts = append(opts, WithWorkflow(name, "json", r.WorkflowJSON))
+	}
+	return NewScenario(opts...)
 }
 
 // materialize produces the scenario's workflow with the generator's

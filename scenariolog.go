@@ -1,0 +1,94 @@
+package hanccr
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/par"
+)
+
+// ScenarioLog records scenario traffic as JSONL — one ScenarioRequest
+// per line — so a later boot can replay it through the cache
+// (Service.WarmFromLog). Safe for concurrent use; attach one to an
+// HTTP handler with WithScenarioLog.
+type ScenarioLog struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewScenarioLog wraps w as a scenario log. The caller owns w (and
+// closes it, if it is a file).
+func NewScenarioLog(w io.Writer) *ScenarioLog { return &ScenarioLog{w: w} }
+
+// Record appends one scenario request as a single JSON line. A nil log
+// records nothing.
+func (l *ScenarioLog) Record(req ScenarioRequest) error {
+	if l == nil {
+		return nil
+	}
+	line, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err = l.w.Write(line)
+	return err
+}
+
+// maxScenarioLogLine bounds one JSONL line of a scenario log: the
+// request-body limit plus slack for the JSON envelope around an
+// injected workflow document.
+const maxScenarioLogLine = maxRequestBody + 4096
+
+// WarmFromLog replays a JSONL scenario stream (one ScenarioRequest per
+// line, blank lines skipped) through the sharded plan cache on a pool
+// of the given size (0 = all cores), so a restarted daemon answers its
+// recorded traffic from memory. It returns how many scenarios now sit
+// in the cache as plans (duplicates of an already-warm scenario count
+// as warmed — they hit) and how many failed to plan. A syntactically
+// broken line aborts with an error naming the line number — a corrupt
+// log should be noticed, not silently half-replayed — while per-
+// scenario planning failures (e.g. a logged scenario whose workflow no
+// longer validates) only count toward failed.
+func (s *Service) WarmFromLog(ctx context.Context, r io.Reader, workers int) (warmed, failed int, err error) {
+	scan := bufio.NewScanner(r)
+	scan.Buffer(make([]byte, 64*1024), maxScenarioLogLine)
+	var scenarios []Scenario
+	line := 0
+	for scan.Scan() {
+		line++
+		raw := bytes.TrimSpace(scan.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var req ScenarioRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return 0, 0, fmt.Errorf("scenario log line %d: %w", line, err)
+		}
+		scenarios = append(scenarios, req.Scenario())
+	}
+	if err := scan.Err(); err != nil {
+		return 0, 0, fmt.Errorf("scenario log: %w", err)
+	}
+	var ok, bad atomic.Int64
+	err = par.ForEachCtx(ctx, workers, len(scenarios), func(i int) error {
+		if _, perr := s.Plan(ctx, scenarios[i]); perr != nil {
+			if ctx.Err() != nil {
+				return perr
+			}
+			bad.Add(1)
+			return nil
+		}
+		ok.Add(1)
+		return nil
+	})
+	return int(ok.Load()), int(bad.Load()), err
+}

@@ -1,0 +1,99 @@
+package hanccr
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestScenarioLogRecordWarmRoundtrip is the restart story end to end:
+// live traffic recorded by the handler is replayed into a fresh
+// service, which then answers the same scenarios as pure cache hits.
+func TestScenarioLogRecordWarmRoundtrip(t *testing.T) {
+	ctx := context.Background()
+	var buf bytes.Buffer
+	slog := NewScenarioLog(&buf)
+	srv := httptest.NewServer(NewHandler(NewService(), WithScenarioLog(slog)))
+
+	requests := []struct{ path, body string }{
+		{"/v1/plan", `{"family":"genome","tasks":40,"procs":3,"seed":7}`},
+		{"/v1/estimate", `{"family":"montage","tasks":40,"procs":3,"seed":7,"method":"Dodin"}`},
+		{"/v1/batch", `{"jobs":[
+			{"kind":"plan","family":"ligo","tasks":40,"procs":3,"seed":9},
+			{"kind":"plan","family":"nope"},
+			{"kind":"simulate","family":"cybershake","tasks":40,"procs":3,"seed":3,"trials":200}
+		]}`},
+	}
+	for _, r := range requests {
+		status, body, _ := postJSON(t, srv.Client(), srv.URL+r.path, r.body)
+		if status != http.StatusOK {
+			t.Fatalf("%s: %d %s", r.path, status, body)
+		}
+	}
+	// Invalid requests must not be recorded, and neither must cache
+	// hits — replaying the first request verbatim adds no line, so the
+	// log stays near the distinct-scenario count even when it is also
+	// the next boot's warm input.
+	postJSON(t, srv.Client(), srv.URL+"/v1/plan", `{"family":"nope"}`)
+	postJSON(t, srv.Client(), srv.URL+"/v1/plan", requests[0].body)
+	srv.Close()
+
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 4 { // plan + estimate + 2 valid batch jobs
+		t.Fatalf("recorded %d lines, want 4:\n%s", lines, buf.String())
+	}
+
+	for _, workers := range []int{1, 3} {
+		fresh := NewService()
+		warmed, failed, err := fresh.WarmFromLog(ctx, bytes.NewReader(buf.Bytes()), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warmed != 4 || failed != 0 {
+			t.Fatalf("workers=%d: warmed %d / failed %d, want 4 / 0", workers, warmed, failed)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+			var req ScenarioRequest
+			if err := json.Unmarshal([]byte(line), &req); err != nil {
+				t.Fatalf("log line %q: %v", line, err)
+			}
+			if _, hit, err := fresh.PlanCached(ctx, req.Scenario()); err != nil || !hit {
+				t.Fatalf("workers=%d: scenario %s not warm (hit=%v, err=%v)", workers, line, hit, err)
+			}
+		}
+	}
+}
+
+// TestWarmFromLogBadLine pins the corrupt-log contract: a broken line
+// aborts the warm-up with its line number instead of being skipped.
+func TestWarmFromLogBadLine(t *testing.T) {
+	log := `{"family":"genome","tasks":40,"procs":3}
+
+this is not json
+`
+	svc := NewService()
+	_, _, err := svc.WarmFromLog(context.Background(), strings.NewReader(log), 1)
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want a line-3 parse error, got %v", err)
+	}
+}
+
+// TestWarmFromLogPlanFailuresCounted pins the lenient half: a line
+// that parses but does not plan only increments failed.
+func TestWarmFromLogPlanFailuresCounted(t *testing.T) {
+	log := `{"family":"genome","tasks":40,"procs":3}
+{"family":"genome","procs":-1}
+`
+	svc := NewService()
+	warmed, failed, err := svc.WarmFromLog(context.Background(), strings.NewReader(log), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmed != 1 || failed != 1 {
+		t.Fatalf("warmed %d / failed %d, want 1 / 1", warmed, failed)
+	}
+}

@@ -12,18 +12,33 @@ import (
 // capacity is configured.
 const DefaultCacheCapacity = 256
 
+// DefaultShards is the number of hash shards a Service splits its plan
+// LRU into when no explicit count is configured. Sharding bounds lock
+// contention under concurrent traffic: a request only ever takes its
+// own shard's lock.
+const DefaultShards = 8
+
 // Service is a long-lived, goroutine-safe planner: Plan requests are
 // answered from a bounded LRU of solved scenarios keyed by the
-// canonical scenario hash (Scenario.Key), so a hot scenario is
-// scheduled once and then served from memory. Planning itself reuses
-// the process-wide generator memo (pegasus.CachedGenerate under the
-// hood) and each cached plan keeps an evaluator pool for its segment
-// DAG, so concurrent estimate traffic on one plan does not allocate.
+// canonical scenario hash (Scenario.Key). The LRU is split into
+// hash-addressed shards — each with its own lock, recency list and
+// hit/miss counters — so concurrent traffic on distinct scenarios
+// never serializes on one mutex. Planning itself reuses the
+// process-wide generator memo (pegasus.CachedGenerate under the hood)
+// and each cached plan keeps an evaluator pool for its segment DAG, so
+// concurrent estimate traffic on one plan does not allocate.
 //
-// Concurrent requests for the same cold scenario are coalesced: one
-// goroutine plans, the rest wait and share the result. Failed plans
-// are not cached.
+// Concurrent requests for the same cold scenario are coalesced inside
+// its shard: one goroutine plans, the rest wait and share the result.
+// Failed plans are not cached. Eviction is per shard (least recently
+// used within the shard), so the configured capacity is an upper bound
+// distributed across shards, not a single global recency order.
 type Service struct {
+	shards []*shard
+}
+
+// shard is one lock domain of the plan LRU.
+type shard struct {
 	mu      sync.Mutex
 	cap     int
 	entries map[string]*list.Element
@@ -44,44 +59,94 @@ type cacheEntry struct {
 }
 
 // ServiceOption configures a Service.
-type ServiceOption func(*Service)
+type ServiceOption func(*serviceConfig)
+
+type serviceConfig struct {
+	capacity int
+	shards   int
+}
 
 // WithCacheCapacity bounds the plan LRU (minimum 1; default
-// DefaultCacheCapacity).
+// DefaultCacheCapacity). The capacity is split evenly across the
+// shards, each shard holding at least one plan.
 func WithCacheCapacity(n int) ServiceOption {
-	return func(s *Service) {
+	return func(c *serviceConfig) {
 		if n > 0 {
-			s.cap = n
+			c.capacity = n
+		}
+	}
+}
+
+// WithShards sets the cache shard count (minimum 1; default
+// DefaultShards). One shard reproduces a single global LRU exactly;
+// more shards trade strict global recency for contention-free lookups.
+func WithShards(n int) ServiceOption {
+	return func(c *serviceConfig) {
+		if n > 0 {
+			c.shards = n
 		}
 	}
 }
 
 // NewService returns a ready-to-use planner.
 func NewService(opts ...ServiceOption) *Service {
-	s := &Service{
-		cap:     DefaultCacheCapacity,
-		entries: make(map[string]*list.Element),
-		order:   list.New(),
-	}
+	cfg := serviceConfig{capacity: DefaultCacheCapacity, shards: DefaultShards}
 	for _, o := range opts {
-		o(s)
+		o(&cfg)
+	}
+	perShard := (cfg.capacity + cfg.shards - 1) / cfg.shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	s := &Service{shards: make([]*shard, cfg.shards)}
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			cap:     perShard,
+			entries: make(map[string]*list.Element),
+			order:   list.New(),
+		}
 	}
 	return s
 }
 
-// Stats is a point-in-time snapshot of the cache.
+// shardFor maps a canonical scenario key onto its shard (FNV-1a over
+// the key bytes). The key is already a uniform SHA-256 hex digest, so
+// any stable mixing spreads load evenly.
+func (s *Service) shardFor(key string) *shard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return s.shards[h%uint32(len(s.shards))]
+}
+
+// Stats is a point-in-time snapshot of the cache, aggregated across
+// shards.
 type Stats struct {
 	Hits     uint64 `json:"hits"`
 	Misses   uint64 `json:"misses"`
 	Entries  int    `json:"entries"`
 	Capacity int    `json:"capacity"`
+	Shards   int    `json:"shards"`
 }
 
-// Stats returns the cache counters.
+// Stats returns the cache counters summed over every shard (Capacity
+// is the total across shards; each shard holds Capacity/Shards plans).
 func (s *Service) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return Stats{Hits: s.hits, Misses: s.misses, Entries: s.order.Len(), Capacity: s.cap}
+	st := Stats{Shards: len(s.shards)}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st.Hits += sh.hits
+		st.Misses += sh.misses
+		st.Entries += sh.order.Len()
+		st.Capacity += sh.cap
+		sh.mu.Unlock()
+	}
+	return st
 }
 
 // Plan returns the solved plan for sc, from cache when warm. Cached
@@ -108,25 +173,22 @@ func (s *Service) PlanCached(ctx context.Context, sc Scenario) (*Plan, bool, err
 // already computed (HTTP handlers reuse it for the response instead of
 // hashing a potentially multi-megabyte injected document twice).
 func (s *Service) planForKey(ctx context.Context, sc Scenario, key string) (*Plan, bool, error) {
+	sh := s.shardFor(key)
 	for {
-		s.mu.Lock()
-		el, hit := s.entries[key]
+		sh.mu.Lock()
+		el, hit := sh.entries[key]
 		var e *cacheEntry
 		if hit {
-			s.order.MoveToFront(el)
+			sh.order.MoveToFront(el)
 			e = el.Value.(*cacheEntry)
-			s.hits++
+			sh.hits++
 		} else {
 			e = &cacheEntry{key: key}
-			s.entries[key] = s.order.PushFront(e)
-			s.misses++
-			for s.order.Len() > s.cap {
-				last := s.order.Back()
-				s.order.Remove(last)
-				delete(s.entries, last.Value.(*cacheEntry).key)
-			}
+			sh.entries[key] = sh.order.PushFront(e)
+			sh.misses++
+			sh.evictLocked()
 		}
-		s.mu.Unlock()
+		sh.mu.Unlock()
 
 		e.once.Do(func() {
 			e.plan, e.err = NewPlan(ctx, sc)
@@ -137,12 +199,12 @@ func (s *Service) planForKey(ctx context.Context, sc Scenario, key string) (*Pla
 		}
 		// Do not cache failures (the first caller's ctx may simply have
 		// been cancelled); drop the entry if it is still resident.
-		s.mu.Lock()
-		if cur, ok := s.entries[key]; ok && cur.Value.(*cacheEntry) == e {
-			s.order.Remove(cur)
-			delete(s.entries, key)
+		sh.mu.Lock()
+		if cur, ok := sh.entries[key]; ok && cur.Value.(*cacheEntry) == e {
+			sh.order.Remove(cur)
+			delete(sh.entries, key)
 		}
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		// A coalesced flight runs under its initiator's context. If the
 		// failure is that context's cancellation while OUR context is
 		// still live, the error is not ours — retry as the new initiator
@@ -152,6 +214,16 @@ func (s *Service) planForKey(ctx context.Context, sc Scenario, key string) (*Pla
 			continue
 		}
 		return nil, hit, e.err
+	}
+}
+
+// evictLocked trims the shard to its capacity, dropping the least
+// recently used entries. Caller holds sh.mu.
+func (sh *shard) evictLocked() {
+	for sh.order.Len() > sh.cap {
+		last := sh.order.Back()
+		sh.order.Remove(last)
+		delete(sh.entries, last.Value.(*cacheEntry).key)
 	}
 }
 
@@ -207,25 +279,38 @@ func (s *Service) Compare(ctx context.Context, sc Scenario) (*Comparison, error)
 
 // lookupAll returns the completed plans for every key, or ok=false if
 // any is missing, in flight, or failed. Hits are only counted when the
-// whole set is warm.
+// whole set is warm. Each key's shard is locked on its own — plans are
+// immutable once done, so no cross-shard atomicity is needed for the
+// answer to be correct.
 func (s *Service) lookupAll(keys []string) ([]*Plan, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	plans := make([]*Plan, len(keys))
 	for i, key := range keys {
-		el, ok := s.entries[key]
+		sh := s.shardFor(key)
+		sh.mu.Lock()
+		el, ok := sh.entries[key]
 		if !ok {
+			sh.mu.Unlock()
 			return nil, false
 		}
 		e := el.Value.(*cacheEntry)
 		if !e.done.Load() || e.err != nil {
+			sh.mu.Unlock()
 			return nil, false
 		}
 		plans[i] = e.plan
+		sh.mu.Unlock()
 	}
 	for _, key := range keys {
-		s.order.MoveToFront(s.entries[key])
-		s.hits++
+		sh := s.shardFor(key)
+		sh.mu.Lock()
+		// Only a still-resident entry counts as a hit: the answer is
+		// served from memory either way, but the counters should not
+		// exceed what the cache actually held at touch time.
+		if el, ok := sh.entries[key]; ok {
+			sh.order.MoveToFront(el)
+			sh.hits++
+		}
+		sh.mu.Unlock()
 	}
 	return plans, true
 }
@@ -236,16 +321,13 @@ func (s *Service) seed(key string, p *Plan) {
 	e := &cacheEntry{key: key, plan: p}
 	e.once.Do(func() {})
 	e.done.Store(true)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.entries[key]; ok {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.entries[key]; ok {
 		return
 	}
-	s.entries[key] = s.order.PushFront(e)
-	s.misses++
-	for s.order.Len() > s.cap {
-		last := s.order.Back()
-		s.order.Remove(last)
-		delete(s.entries, last.Value.(*cacheEntry).key)
-	}
+	sh.entries[key] = sh.order.PushFront(e)
+	sh.misses++
+	sh.evictLocked()
 }

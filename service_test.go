@@ -66,10 +66,12 @@ func TestServiceCacheHitBitIdentical(t *testing.T) {
 }
 
 // TestServiceLRUEviction checks the cache is bounded and evicts least
-// recently used plans first.
+// recently used plans first. One shard makes the recency order global,
+// so the eviction victim is exact; per-shard eviction is covered by
+// TestServicePerShardLRUEviction.
 func TestServiceLRUEviction(t *testing.T) {
 	ctx := context.Background()
-	svc := NewService(WithCacheCapacity(2))
+	svc := NewService(WithCacheCapacity(2), WithShards(1))
 	a := smallScenario("genome", 1, CkptSome)
 	b := smallScenario("genome", 2, CkptSome)
 	c := smallScenario("genome", 3, CkptSome)
@@ -158,7 +160,10 @@ func TestServiceConcurrentMixedTraffic(t *testing.T) {
 		refs[i] = ref{em: p.ExpectedMakespan(), dodin: d, simMean: sim.Mean}
 	}
 
-	svc := NewService(WithCacheCapacity(4)) // smaller than the scenario set: force eviction under load
+	// Smaller than the scenario set to force eviction under load; one
+	// shard keeps the capacity bound exact (sharded traffic is pinned by
+	// TestServiceShardedMatchesSerialReference).
+	svc := NewService(WithCacheCapacity(4), WithShards(1))
 	const goroutines = 8
 	const iters = 30
 	var wg sync.WaitGroup
