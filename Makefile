@@ -68,6 +68,17 @@ serve-smoke:
 		http://127.0.0.1:18080/v1/batch | grep -q '"results"'; \
 	curl -fsS -X POST -d '{"family":"genome","sizes":[50],"procs":[5],"pfails":[0.001],"ccr_min":0.001,"ccr_max":0.001,"points_per_decade":5}' \
 		http://127.0.0.1:18080/v1/sweep | grep -q '"rows"'; \
+	curl -fsS -N -X POST -H 'Accept: application/x-ndjson' \
+		-d '{"family":"genome","sizes":[50],"procs":[5],"pfails":[0.001],"ccr_min":0.001,"ccr_max":0.01,"points_per_decade":5}' \
+		http://127.0.0.1:18080/v1/sweep > /tmp/hanccr-stream.ndjson; \
+	head -1 /tmp/hanccr-stream.ndjson | grep -q '"cells":6' \
+		|| { echo "serve-smoke: streamed sweep header lacks the cell count"; exit 1; }; \
+	rows=$$(grep -c '"tasks"' /tmp/hanccr-stream.ndjson || true); \
+	[ "$$rows" -eq 6 ] || { echo "serve-smoke: streamed sweep returned $$rows rows, want 6"; exit 1; }; \
+	chunks=$$(curl --raw -fsS -X POST -H 'Accept: application/x-ndjson' \
+		-d '{"family":"genome","sizes":[50],"procs":[5],"pfails":[0.001],"ccr_min":0.001,"ccr_max":0.01,"points_per_decade":5}' \
+		http://127.0.0.1:18080/v1/sweep | tr -d '\r' | grep -cE '^[0-9a-fA-F]+$$' || true); \
+	[ "$$chunks" -ge 2 ] || { echo "serve-smoke: streamed sweep arrived in $$chunks chunks, want >= 2 (one flush per row)"; exit 1; }; \
 	kill -TERM $$pid; wait $$pid || true; \
 	n=$$(grep -c . /tmp/hanccr-scenarios.jsonl || true); \
 	[ "$$n" -ge 1 ] || { echo "serve-smoke: scenario log has $$n lines, want >= 1 (only the cold ligo job logs; warm hits must not)"; exit 1; }; \

@@ -30,11 +30,12 @@ import (
 
 // result is the JSON artifact schema.
 type result struct {
-	GoVersion string  `json:"go_version"`
-	NumCPU    int     `json:"num_cpu"`
-	Reps      int     `json:"reps"`
-	Gated     bool    `json:"gated"` // false on single-core hosts
-	Panels    []panel `json:"panels"`
+	GoVersion   string       `json:"go_version"`
+	NumCPU      int          `json:"num_cpu"`
+	Reps        int          `json:"reps"`
+	Gated       bool         `json:"gated"` // false on single-core hosts
+	Panels      []panel      `json:"panels"`
+	SweepStream []streamStat `json:"sweep_stream"`
 }
 
 type panel struct {
@@ -43,6 +44,18 @@ type panel struct {
 	SerialSeconds   float64 `json:"serial_seconds"`
 	ParallelSeconds float64 `json:"parallel_seconds"`
 	Speedup         float64 `json:"speedup"`
+}
+
+// streamStat compares the streamed sweep path against the buffered one
+// at a fixed worker count: same grid, same rows, but the streamed side
+// discards each row at emission while the buffered side materializes
+// the full result — the memory story the peak-heap columns record.
+type streamStat struct {
+	Workers          int     `json:"workers"`
+	BufferedSeconds  float64 `json:"buffered_seconds"`
+	StreamedSeconds  float64 `json:"streamed_seconds"`
+	BufferedPeakHeap uint64  `json:"buffered_peak_heap_bytes"`
+	StreamedPeakHeap uint64  `json:"streamed_peak_heap_bytes"`
 }
 
 func main() {
@@ -59,6 +72,7 @@ func main() {
 		run  func(ctx context.Context, workers int) error
 	}{
 		{"sweep", runSweepPanel},
+		{"sweep-stream", runStreamPanel},
 		{"sim", simPanel(ctx)},
 		{"batch", runBatchPanel},
 	}
@@ -100,6 +114,29 @@ func main() {
 			p.name, ncpu, serial.Seconds(), parallel.Seconds(), speedup, verdict)
 	}
 
+	// Streamed-vs-buffered comparison: wall clock and peak heap of the
+	// same grid collected whole (RunSweep) versus emitted row-by-row and
+	// discarded (StreamSweep), at workers=1 and workers=NumCPU. Not
+	// speedup-gated — the two paths do identical cell work; the columns
+	// exist so the artifact records what streaming buys in memory.
+	for _, workers := range dedupInts([]int{1, ncpu}) {
+		st := streamStat{Workers: workers}
+		d, peak, err := peakHeap(func() error { return runSweepPanel(ctx, workers) })
+		if err != nil {
+			fatal(fmt.Errorf("buffered sweep (workers=%d): %w", workers, err))
+		}
+		st.BufferedSeconds, st.BufferedPeakHeap = d.Seconds(), peak
+		d, peak, err = peakHeap(func() error { return runStreamPanel(ctx, workers) })
+		if err != nil {
+			fatal(fmt.Errorf("streamed sweep (workers=%d): %w", workers, err))
+		}
+		st.StreamedSeconds, st.StreamedPeakHeap = d.Seconds(), peak
+		res.SweepStream = append(res.SweepStream, st)
+		fmt.Printf("stream workers=%d buffered=%8.3fs/%6.1fMB streamed=%8.3fs/%6.1fMB\n",
+			workers, st.BufferedSeconds, float64(st.BufferedPeakHeap)/1e6,
+			st.StreamedSeconds, float64(st.StreamedPeakHeap)/1e6)
+	}
+
 	blob, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -135,10 +172,11 @@ func best(ctx context.Context, reps, workers int, fn func(context.Context, int) 
 	return bestD, nil
 }
 
-// runSweepPanel is a §VI-style grid: the MONTAGE figure ranges at two
-// sizes, sized to run a few seconds serially on a CI runner.
-func runSweepPanel(ctx context.Context, workers int) error {
-	cfg := expt.SweepConfig{
+// sweepPanelConfig is the shared grid of the buffered and streamed
+// sweep panels: the MONTAGE figure ranges at two sizes, sized to run a
+// few seconds serially on a CI runner.
+func sweepPanelConfig(workers int) expt.SweepConfig {
+	return expt.SweepConfig{
 		Family:          "montage",
 		Sizes:           []int{50, 300},
 		PFails:          []float64{1e-4, 1e-3},
@@ -148,8 +186,65 @@ func runSweepPanel(ctx context.Context, workers int) error {
 		Seed:            42,
 		Workers:         workers,
 	}
-	_, err := expt.RunSweep(ctx, cfg)
+}
+
+func runSweepPanel(ctx context.Context, workers int) error {
+	_, err := expt.RunSweep(ctx, sweepPanelConfig(workers))
 	return err
+}
+
+// runStreamPanel drives the same grid through the ordered streaming
+// path, discarding each row at emission the way an NDJSON response
+// hands it to the socket.
+func runStreamPanel(ctx context.Context, workers int) error {
+	return expt.StreamSweep(ctx, sweepPanelConfig(workers), func(expt.Row) error { return nil })
+}
+
+// peakHeap runs fn while a sampler polls runtime.MemStats, returning
+// fn's wall clock and the peak HeapAlloc observed — a portable
+// stand-in for peak RSS that needs no /proc support. A GC first puts
+// both measured paths on the same baseline.
+func peakHeap(fn func() error) (time.Duration, uint64, error) {
+	runtime.GC()
+	stop := make(chan struct{})
+	peakc := make(chan uint64)
+	go func() {
+		var peak uint64
+		var ms runtime.MemStats
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak {
+				peak = ms.HeapAlloc
+			}
+			select {
+			case <-stop:
+				peakc <- peak
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	start := time.Now()
+	err := fn()
+	d := time.Since(start)
+	close(stop)
+	return d, <-peakc, err
+}
+
+func dedupInts(in []int) []int {
+	var out []int
+	for _, v := range in {
+		seen := false
+		for _, o := range out {
+			seen = seen || o == v
+		}
+		if !seen {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // simPanel plans one paper-sized scenario once and returns a runner

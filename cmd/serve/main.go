@@ -17,7 +17,12 @@
 // CLI flag block. -warm replays a JSONL scenario log through the cache
 // before listening; -log-scenarios records live traffic in the same
 // format, so a restart warms from what the previous process served.
-// SIGINT/SIGTERM drain in-flight requests before exit.
+// A sweep request with "stream":true (or Accept: application/x-ndjson)
+// is answered as NDJSON, one row per line flushed as it is computed;
+// streamed grids may hold up to -stream-cells cells (default 1M)
+// because rows never accumulate server-side, where buffered sweeps
+// keep the fixed 10k in-memory cap. SIGINT/SIGTERM drain in-flight
+// requests before exit.
 package main
 
 import (
@@ -55,7 +60,13 @@ func main() {
 			warmed, sf.Warm, time.Since(start).Truncate(time.Millisecond), failed)
 	}
 
-	var handlerOpts []hanccr.HandlerOption
+	handlerOpts := []hanccr.HandlerOption{
+		// Encode/write failures, mid-stream sweep aborts and client
+		// disconnects land in the daemon log — the response status can
+		// no longer carry them by the time they happen.
+		hanccr.WithLogf(log.Printf),
+		hanccr.WithStreamSweepCellCap(sf.StreamCells),
+	}
 	var logFile *os.File
 	if sf.LogScenarios != "" {
 		f, err := os.OpenFile(sf.LogScenarios, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -120,6 +131,16 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(status int) {
 	w.status = status
 	w.ResponseWriter.WriteHeader(status)
+}
+
+// Flush forwards to the wrapped writer so the access-log layer does
+// not hide http.Flusher from the streaming sweep path — without this
+// the daemon silently buffers whole NDJSON responses (make
+// serve-smoke's chunk assertion is what catches it).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func fatal(err error) {

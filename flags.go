@@ -114,16 +114,18 @@ type ServeFlags struct {
 	Warm         string
 	LogScenarios string
 	WarmWorkers  int
+	StreamCells  int
 }
 
 // BindServeFlags registers the daemon flags on fs and returns the
 // struct they parse into.
 func BindServeFlags(fs *flag.FlagSet) *ServeFlags {
 	f := &ServeFlags{
-		Addr:   ":8080",
-		Cache:  DefaultCacheCapacity,
-		Shards: DefaultShards,
-		Drain:  10 * time.Second,
+		Addr:        ":8080",
+		Cache:       DefaultCacheCapacity,
+		Shards:      DefaultShards,
+		Drain:       10 * time.Second,
+		StreamCells: DefaultStreamSweepCells,
 	}
 	fs.StringVar(&f.Addr, "addr", f.Addr, "listen address")
 	fs.IntVar(&f.Cache, "cache", f.Cache, "plan LRU capacity in scenarios, split across the shards")
@@ -132,6 +134,7 @@ func BindServeFlags(fs *flag.FlagSet) *ServeFlags {
 	fs.StringVar(&f.Warm, "warm", "", "JSONL scenario log to replay through the cache at boot")
 	fs.StringVar(&f.LogScenarios, "log-scenarios", "", "append live scenario traffic to this JSONL file (feed it back via -warm)")
 	fs.IntVar(&f.WarmWorkers, "warm-workers", 0, "goroutines replaying the warm log (0 = all cores)")
+	fs.IntVar(&f.StreamCells, "stream-cells", f.StreamCells, "cell ceiling for STREAMED /v1/sweep grids (buffered sweeps keep the fixed in-memory cap)")
 	return f
 }
 

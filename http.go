@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
+	"strings"
 
 	"repro/internal/expt"
 	"repro/internal/pegasus"
@@ -102,11 +104,19 @@ type BatchResponse struct {
 // SweepRequest is the body of POST /v1/sweep: a §VI-style grid over
 // one workflow family. Omitted fields take the paper's grid for the
 // family (expt.FigureConfig) — an empty body sweeps the full Figure 5
-// GENOME panel. Seed follows the experiment engine's convention: 0
-// (or omitted) selects the paper's seed 42, unlike the single-scenario
-// endpoints where an explicit seed 0 is honored. Workers bounds the
-// cell fan-out (0 = all cores); rows are byte-identical for every
-// worker count.
+// GENOME panel — while an explicitly empty sizes/procs/pfails list is
+// an empty grid and rejected. Seed follows the experiment engine's
+// convention: 0 (or omitted) selects the paper's seed 42, unlike the
+// single-scenario endpoints where an explicit seed 0 is honored.
+// Workers bounds the cell fan-out (0 = all cores; values outside
+// [0, cores] are clamped to all cores); rows are byte-identical for
+// every worker count.
+//
+// Stream (or an Accept header naming application/x-ndjson) switches
+// the response to NDJSON: one SweepStreamHeader line, then one
+// SweepRow per line in canonical grid order, each flushed as it is
+// computed. Streamed grids get the daemon's far higher streaming cell
+// ceiling since rows never accumulate server-side.
 type SweepRequest struct {
 	Family          string    `json:"family,omitempty"`
 	Sizes           []int     `json:"sizes,omitempty"`
@@ -119,6 +129,7 @@ type SweepRequest struct {
 	Bandwidth       float64   `json:"bandwidth,omitempty"`
 	Ragged          bool      `json:"ragged,omitempty"`
 	Workers         int       `json:"workers,omitempty"`
+	Stream          bool      `json:"stream,omitempty"`
 }
 
 // SweepRow is one grid cell of a SweepResponse, in canonical (size,
@@ -139,11 +150,21 @@ type SweepRow struct {
 	WPar            float64 `json:"w_par"`
 }
 
-// SweepResponse is the body of POST /v1/sweep.
+// SweepResponse is the body of a buffered POST /v1/sweep.
 type SweepResponse struct {
 	Family string     `json:"family"`
 	Cells  int        `json:"cells"`
 	Rows   []SweepRow `json:"rows"`
+}
+
+// SweepStreamHeader is the first NDJSON line of a streamed sweep: the
+// grid's identity and cell count. The stream has no trailer on
+// success, so a consumer verifies completeness by counting rows
+// against Cells; a row line always carries "tasks", which the header
+// (and the error object a mid-stream failure appends) never does.
+type SweepStreamHeader struct {
+	Family string `json:"family"`
+	Cells  int    `json:"cells"`
 }
 
 // HealthResponse is the body of GET /healthz.
@@ -172,9 +193,18 @@ const maxBatchJobs = 1024
 // request may demand.
 const maxBatchTrials = 100_000_000
 
-// maxSweepCells bounds one /v1/sweep grid (the full paper panels are a
-// few hundred cells each).
+// maxSweepCells bounds one BUFFERED /v1/sweep grid (the full paper
+// panels are a few hundred cells each): every row of a buffered sweep
+// is resident until the response is encoded, so the ceiling is a
+// memory bound.
 const maxSweepCells = 10_000
+
+// DefaultStreamSweepCells is the default ceiling of a STREAMED sweep
+// (cmd/serve -stream-cells, WithStreamSweepCellCap). Streamed rows are
+// flushed as they are computed and only O(workers) of them ever exist
+// at once, so the ceiling bounds compute time, not memory — two orders
+// of magnitude above the buffered cap.
+const DefaultStreamSweepCells = 1_000_000
 
 // checkTrials rejects per-request trial counts the daemon is unwilling
 // to allocate. Zero means "use the default" and passes.
@@ -189,7 +219,9 @@ func checkTrials(n int) error {
 type HandlerOption func(*handlerConfig)
 
 type handlerConfig struct {
-	slog *ScenarioLog
+	slog        *ScenarioLog
+	logf        func(format string, args ...any)
+	streamCells int
 }
 
 // WithScenarioLog records every successfully planned scenario request
@@ -199,6 +231,25 @@ type handlerConfig struct {
 // that triggered them.
 func WithScenarioLog(l *ScenarioLog) HandlerOption {
 	return func(c *handlerConfig) { c.slog = l }
+}
+
+// WithLogf routes handler diagnostics to logf (e.g. log.Printf):
+// response encode/write failures — otherwise invisible, the status
+// line is long gone when they happen — mid-stream sweep aborts, and
+// client disconnects. The default discards them.
+func WithLogf(logf func(format string, args ...any)) HandlerOption {
+	return func(c *handlerConfig) { c.logf = logf }
+}
+
+// WithStreamSweepCellCap sets the cell ceiling of streamed sweeps
+// (default DefaultStreamSweepCells). Buffered sweeps keep the fixed
+// in-memory row cap regardless.
+func WithStreamSweepCellCap(n int) HandlerOption {
+	return func(c *handlerConfig) {
+		if n > 0 {
+			c.streamCells = n
+		}
+	}
 }
 
 // NewHandler exposes svc over HTTP/JSON:
@@ -216,99 +267,102 @@ func WithScenarioLog(l *ScenarioLog) HandlerOption {
 // only difference. Batch results and sweep rows are collected by index
 // and therefore byte-identical for every worker count.
 func NewHandler(svc *Service, opts ...HandlerOption) http.Handler {
-	var cfg handlerConfig
+	cfg := handlerConfig{
+		logf:        func(string, ...any) {},
+		streamCells: DefaultStreamSweepCells,
+	}
 	for _, o := range opts {
 		o(&cfg)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Cache: svc.Stats()})
+		cfg.writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Cache: svc.Stats()})
 	})
 	mux.HandleFunc("/v1/plan", func(w http.ResponseWriter, r *http.Request) {
 		var req ScenarioRequest
-		if !readJSON(w, r, &req) {
+		if !cfg.readJSON(w, r, &req) {
 			return
 		}
 		sc := req.Scenario()
 		plan, key, hit, err := planOnce(r.Context(), svc, sc)
 		if err != nil {
-			writeError(w, err)
+			cfg.writeError(w, r, err)
 			return
 		}
 		cfg.record(req, hit)
 		w.Header().Set("X-Cache", cacheHeader(hit))
-		writeJSON(w, http.StatusOK, planResponse(key, plan))
+		cfg.writeJSON(w, http.StatusOK, planResponse(key, plan))
 	})
 	mux.HandleFunc("/v1/estimate", func(w http.ResponseWriter, r *http.Request) {
 		var req EstimateRequest
-		if !readJSON(w, r, &req) {
+		if !cfg.readJSON(w, r, &req) {
 			return
 		}
 		// Reject over-cap trial counts before planning: the cap exists to
 		// stop the work, so the request must not run at all (the batch
 		// endpoint's checkCaps makes the same promise).
 		if err := checkTrials(req.MCTrials); err != nil {
-			writeError(w, err)
+			cfg.writeError(w, r, err)
 			return
 		}
 		sc := req.Scenario()
 		plan, key, hit, err := planOnce(r.Context(), svc, sc)
 		if err != nil {
-			writeError(w, err)
+			cfg.writeError(w, r, err)
 			return
 		}
 		em, err := plan.Estimate(r.Context(), Method(req.Method),
 			estimateOptions(req.MCTrials, req.MCSeed, req.Workers)...)
 		if err != nil {
-			writeError(w, err)
+			cfg.writeError(w, r, err)
 			return
 		}
 		cfg.record(req.ScenarioRequest, hit)
 		w.Header().Set("X-Cache", cacheHeader(hit))
-		writeJSON(w, http.StatusOK, EstimateResponse{Key: key, Method: req.Method, ExpectedMakespan: em})
+		cfg.writeJSON(w, http.StatusOK, EstimateResponse{Key: key, Method: req.Method, ExpectedMakespan: em})
 	})
 	mux.HandleFunc("/v1/simulate", func(w http.ResponseWriter, r *http.Request) {
 		var req SimulateRequest
-		if !readJSON(w, r, &req) {
+		if !cfg.readJSON(w, r, &req) {
 			return
 		}
 		if err := checkTrials(req.Trials); err != nil {
-			writeError(w, err)
+			cfg.writeError(w, r, err)
 			return
 		}
 		sc := req.Scenario()
 		plan, key, hit, err := planOnce(r.Context(), svc, sc)
 		if err != nil {
-			writeError(w, err)
+			cfg.writeError(w, r, err)
 			return
 		}
 		res, err := plan.Simulate(r.Context(), simOptions(req.Trials, req.SimSeed, req.Workers)...)
 		if err != nil {
-			writeError(w, err)
+			cfg.writeError(w, r, err)
 			return
 		}
 		cfg.record(req.ScenarioRequest, hit)
 		w.Header().Set("X-Cache", cacheHeader(hit))
-		writeJSON(w, http.StatusOK, SimulateResponse{
+		cfg.writeJSON(w, http.StatusOK, SimulateResponse{
 			Key: key, Trials: res.Trials,
 			Mean: res.Mean, StdDev: res.StdDev, CI95: res.CI95, MeanFailures: res.MeanFailures,
 		})
 	})
 	mux.HandleFunc("/v1/batch", func(w http.ResponseWriter, r *http.Request) {
 		var req BatchRequest
-		if !readJSON(w, r, &req) {
+		if !cfg.readJSON(w, r, &req) {
 			return
 		}
 		if len(req.Jobs) == 0 {
-			writeError(w, fmt.Errorf("%w: batch request needs at least one job", ErrBadScenario))
+			cfg.writeError(w, r, fmt.Errorf("%w: batch request needs at least one job", ErrBadScenario))
 			return
 		}
 		if len(req.Jobs) > maxBatchJobs {
-			writeError(w, fmt.Errorf("%w: %d jobs above the daemon limit of %d", ErrBadScenario, len(req.Jobs), maxBatchJobs))
+			cfg.writeError(w, r, fmt.Errorf("%w: %d jobs above the daemon limit of %d", ErrBadScenario, len(req.Jobs), maxBatchJobs))
 			return
 		}
 		if total := batchTrials(req.Jobs); total > maxBatchTrials {
-			writeError(w, fmt.Errorf("%w: %d total trials across the batch above the daemon limit of %d", ErrBadScenario, total, maxBatchTrials))
+			cfg.writeError(w, r, fmt.Errorf("%w: %d total trials across the batch above the daemon limit of %d", ErrBadScenario, total, maxBatchTrials))
 			return
 		}
 		resp := BatchResponse{Results: make([]BatchResult, len(req.Jobs))}
@@ -327,7 +381,7 @@ func NewHandler(svc *Service, opts ...HandlerOption) http.Handler {
 		}
 		results, err := svc.Batch(r.Context(), jobs, WithBatchWorkers(req.Workers))
 		if err != nil {
-			writeError(w, err)
+			cfg.writeError(w, r, err)
 			return
 		}
 		for k, res := range results {
@@ -337,37 +391,97 @@ func NewHandler(svc *Service, opts ...HandlerOption) http.Handler {
 				cfg.record(req.Jobs[i].ScenarioRequest, res.Hit)
 			}
 		}
-		writeJSON(w, http.StatusOK, resp)
+		cfg.writeJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("/v1/sweep", func(w http.ResponseWriter, r *http.Request) {
 		var req SweepRequest
-		if !readJSON(w, r, &req) {
+		if !cfg.readJSON(w, r, &req) {
 			return
 		}
-		scfg, err := req.sweepConfig()
+		stream := req.Stream || wantsNDJSON(r)
+		capCells := maxSweepCells
+		if stream {
+			capCells = cfg.streamCells
+		}
+		scfg, err := req.sweepConfig(capCells)
 		if err != nil {
-			writeError(w, err)
+			cfg.writeError(w, r, err)
+			return
+		}
+		if stream {
+			cfg.streamSweep(w, r, scfg)
 			return
 		}
 		rows, err := expt.RunSweep(r.Context(), scfg)
 		if err != nil {
-			writeError(w, err)
+			cfg.writeError(w, r, err)
 			return
 		}
 		resp := SweepResponse{Family: scfg.Family, Cells: len(rows), Rows: make([]SweepRow, len(rows))}
 		for i, row := range rows {
-			resp.Rows[i] = SweepRow{
-				Family: row.Family, Tasks: row.Tasks, Procs: row.Procs,
-				PFail: row.PFail, CCR: row.CCR,
-				EMSome: row.EMSome, EMAll: row.EMAll, EMNone: row.EMNone,
-				RelAll: row.RelAll, RelNone: row.RelNone,
-				CheckpointsSome: row.CheckpointsSome, Superchains: row.Superchains,
-				WPar: row.WPar,
-			}
+			resp.Rows[i] = sweepRow(row)
 		}
-		writeJSON(w, http.StatusOK, resp)
+		cfg.writeJSON(w, http.StatusOK, resp)
 	})
 	return mux
+}
+
+// wantsNDJSON reports whether the request negotiated a streamed NDJSON
+// response via its Accept header.
+func wantsNDJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), ndjsonContentType)
+}
+
+// ndjsonContentType is the media type of a streamed sweep response.
+const ndjsonContentType = "application/x-ndjson"
+
+// sweepRow converts one engine row into its wire shape — the single
+// mapping the buffered and streamed sweep paths share, so a streamed
+// row can never drift from the matching buffered row.
+func sweepRow(row expt.Row) SweepRow {
+	return SweepRow{
+		Family: row.Family, Tasks: row.Tasks, Procs: row.Procs,
+		PFail: row.PFail, CCR: row.CCR,
+		EMSome: row.EMSome, EMAll: row.EMAll, EMNone: row.EMNone,
+		RelAll: row.RelAll, RelNone: row.RelNone,
+		CheckpointsSome: row.CheckpointsSome, Superchains: row.Superchains,
+		WPar: row.WPar,
+	}
+}
+
+// streamSweep answers a sweep request as NDJSON: a SweepStreamHeader
+// line, then one SweepRow line per grid cell in canonical order, each
+// flushed to the client as soon as it is computed. Row bytes are
+// produced by the same encoder as the buffered response, so the
+// concatenated row lines are byte-identical to SweepResponse.Rows.
+// The status line is committed before the first cell runs; a mid-
+// stream failure therefore cannot turn into a 4xx/5xx — it appends a
+// trailing {"error": ...} object and cuts the stream short of the
+// advertised cell count instead.
+func (c *handlerConfig) streamSweep(w http.ResponseWriter, r *http.Request, scfg expt.SweepConfig) {
+	w.Header().Set("Content-Type", ndjsonContentType)
+	w.WriteHeader(http.StatusOK)
+	out := newLineWriter(w)
+	if err := out.writeLine(SweepStreamHeader{Family: scfg.Family, Cells: scfg.NumCells()}); err != nil {
+		c.logf("http: sweep stream: write header: %v", err)
+		return
+	}
+	err := expt.StreamSweep(r.Context(), scfg, func(row expt.Row) error {
+		return out.writeLine(sweepRow(row))
+	})
+	switch {
+	case err == nil:
+	case r.Context().Err() != nil:
+		// The client went away (or gave up) mid-stream; nobody is
+		// reading, so there is nothing to append and nothing to account
+		// as a server failure.
+		c.logf("http: %s %s: client disconnected mid-stream: %v", r.Method, r.URL.Path, err)
+	default:
+		c.logf("http: sweep stream aborted: %v", err)
+		if werr := out.writeLine(map[string]string{"error": err.Error()}); werr != nil {
+			c.logf("http: sweep stream: write trailing error: %v", werr)
+		}
+	}
 }
 
 // record appends one scenario line to the configured log, if any.
@@ -455,8 +569,12 @@ func batchResult(jr BatchJobRequest, res JobResult) BatchResult {
 
 // sweepConfig validates the request and translates it into the
 // experiment engine's grid, defaulting to the paper's figure grid for
-// the family.
-func (r SweepRequest) sweepConfig() (expt.SweepConfig, error) {
+// the family. maxCells is the caller's cell ceiling — the in-memory
+// row cap for a buffered response, the (far higher) streaming cap for
+// an NDJSON one. A present-but-empty sizes/procs/pfails list is an
+// empty grid and rejected; only an omitted (null) list takes the
+// paper's default.
+func (r SweepRequest) sweepConfig(maxCells int) (expt.SweepConfig, error) {
 	family := r.Family
 	if family == "" {
 		family = DefaultFamily
@@ -472,6 +590,19 @@ func (r SweepRequest) sweepConfig() (expt.SweepConfig, error) {
 		return expt.SweepConfig{}, fmt.Errorf("%w: unknown family %q (have %v)", ErrBadScenario, family, pegasus.Families())
 	}
 	cfg := expt.FigureConfig(family)
+	for _, l := range []struct {
+		name    string
+		present bool
+		empty   bool
+	}{
+		{"sizes", r.Sizes != nil, len(r.Sizes) == 0},
+		{"procs", r.Procs != nil, len(r.Procs) == 0},
+		{"pfails", r.PFails != nil, len(r.PFails) == 0},
+	} {
+		if l.present && l.empty {
+			return expt.SweepConfig{}, fmt.Errorf("%w: sweep grid is empty: %s list has no entries (omit it for the paper's grid)", ErrBadScenario, l.name)
+		}
+	}
 	if len(r.Sizes) > 0 {
 		cfg.Sizes = r.Sizes
 	}
@@ -497,7 +628,15 @@ func (r SweepRequest) sweepConfig() (expt.SweepConfig, error) {
 		cfg.Bandwidth = r.Bandwidth
 	}
 	cfg.Ragged = r.Ragged
+	// Clamp the client's worker count to the host's cores: the engine
+	// caps its pool at the cell count, not the core count, so an
+	// unclamped "workers":1e6 against a large streamed grid would spawn
+	// that many goroutines — and inflate the streaming path's
+	// O(workers) reorder window toward O(cells).
 	cfg.Workers = r.Workers
+	if cfg.Workers < 0 || cfg.Workers > runtime.GOMAXPROCS(0) {
+		cfg.Workers = 0
+	}
 	for _, n := range cfg.Sizes {
 		if n < 1 {
 			return expt.SweepConfig{}, fmt.Errorf("%w: need at least one task, got size %d", ErrBadScenario, n)
@@ -520,8 +659,8 @@ func (r SweepRequest) sweepConfig() (expt.SweepConfig, error) {
 	if n == 0 {
 		return expt.SweepConfig{}, fmt.Errorf("%w: sweep grid is empty", ErrBadScenario)
 	}
-	if n > maxSweepCells {
-		return expt.SweepConfig{}, fmt.Errorf("%w: sweep grid of %d cells above the daemon limit of %d", ErrBadScenario, n, maxSweepCells)
+	if n > maxCells {
+		return expt.SweepConfig{}, fmt.Errorf("%w: sweep grid of %d cells above the daemon limit of %d (streamed sweeps accept larger grids)", ErrBadScenario, n, maxCells)
 	}
 	return cfg, nil
 }
@@ -593,34 +732,51 @@ func cacheHeader(hit bool) string {
 
 // readJSON decodes a POST body into dst, writing the error response
 // itself when the request is unusable.
-func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+func (c *handlerConfig) readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "use POST"})
+		c.writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "use POST"})
 		return false
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		c.writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return false
 	}
 	if len(body) > maxRequestBody {
-		writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{"error": "request body over 16 MiB"})
+		c.writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{"error": "request body over 16 MiB"})
 		return false
 	}
 	if len(body) == 0 {
 		body = []byte("{}")
 	}
 	if err := json.Unmarshal(body, dst); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
+		c.writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
 		return false
 	}
 	return true
 }
 
+// statusClientClosedRequest is nginx's non-standard 499: the client
+// disconnected (or abandoned the request) before the response was
+// written. No client ever reads it — it exists so the access log
+// records the abort without putting a client's disappearance in the
+// 5xx band.
+const statusClientClosedRequest = 499
+
+// clientGone reports whether err is the request's own context being
+// cancelled — the client hung up or gave up, as opposed to a
+// server-side failure or the shutdown drain deadline.
+func clientGone(r *http.Request, err error) bool {
+	return errors.Is(err, context.Canceled) && r.Context().Err() != nil
+}
+
 // errorStatus maps façade errors onto HTTP statuses: invalid input is
 // the client's fault (400), a structurally impossible workflow is 422,
-// a cancelled request 499-style 503, anything else 500.
+// a server-side cancellation (shutdown drain, deadline) 503, anything
+// else 500. Request-context cancellation — the client's own
+// disconnect — never reaches this table; writeError intercepts it
+// first.
 func errorStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrBadScenario), errors.Is(err, ErrParse),
@@ -634,13 +790,53 @@ func errorStatus(err error) int {
 	return http.StatusInternalServerError
 }
 
-func writeError(w http.ResponseWriter, err error) {
-	writeJSON(w, errorStatus(err), map[string]string{"error": err.Error()})
+func (c *handlerConfig) writeError(w http.ResponseWriter, r *http.Request, err error) {
+	if clientGone(r, err) {
+		// The client's own disconnect is not a server failure: record it
+		// at 499 for the access log (nothing reads the response) and keep
+		// it out of 5xx accounting.
+		c.logf("http: %s %s: client disconnected: %v", r.Method, r.URL.Path, err)
+		w.WriteHeader(statusClientClosedRequest)
+		return
+	}
+	c.writeJSON(w, errorStatus(err), map[string]string{"error": err.Error()})
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func (c *handlerConfig) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.Encode(v)
+	if err := newLineWriter(w).writeLine(v); err != nil {
+		// The status line is already committed, so a failed or
+		// half-written body cannot be reported to the client; the daemon
+		// log is the only witness.
+		c.logf("http: write %d response: %v", status, err)
+	}
+}
+
+// lineWriter is the flush-aware JSON line writer shared by every
+// response path: writeLine encodes one value (trailing newline
+// included, exactly as the buffered encoder would) and flushes it to
+// the client immediately when the ResponseWriter supports it — the
+// per-row delivery a streamed sweep needs.
+type lineWriter struct {
+	enc   *json.Encoder
+	flush http.Flusher
+}
+
+func newLineWriter(w io.Writer) *lineWriter {
+	lw := &lineWriter{enc: json.NewEncoder(w)}
+	if f, ok := w.(http.Flusher); ok {
+		lw.flush = f
+	}
+	return lw
+}
+
+func (lw *lineWriter) writeLine(v any) error {
+	if err := lw.enc.Encode(v); err != nil {
+		return err
+	}
+	if lw.flush != nil {
+		lw.flush.Flush()
+	}
+	return nil
 }

@@ -172,3 +172,117 @@ func relDiff(a, b float64) float64 {
 	}
 	return d / b
 }
+
+// TestGridPointMatchesEnumerate cross-checks the index-arithmetic cell
+// decode against the nested-loop enumeration it replaced, on a grid
+// with per-size processor lists of different lengths.
+func TestGridPointMatchesEnumerate(t *testing.T) {
+	cfg := SweepConfig{
+		Family: "genome", Sizes: []int{50, 300}, PFails: []float64{0.01, 0.001, 0.0001},
+		CCRMin: 1e-3, CCRMax: 1e-1, PointsPerDecade: 3, Seed: 3,
+	}.withDefaults()
+	g := cfg.grid()
+	want := func() []gridPoint {
+		ccrs := CCRGrid(cfg.CCRMin, cfg.CCRMax, cfg.PointsPerDecade)
+		var pts []gridPoint
+		for _, size := range cfg.Sizes {
+			for _, procs := range cfg.procsFor(size) {
+				for _, pfail := range cfg.PFails {
+					for _, ccr := range ccrs {
+						pts = append(pts, gridPoint{size, procs, pfail, ccr})
+					}
+				}
+			}
+		}
+		return pts
+	}()
+	if g.cells != len(want) {
+		t.Fatalf("grid has %d cells, nested loops give %d", g.cells, len(want))
+	}
+	if got := cfg.enumerate(); !reflect.DeepEqual(got, want) {
+		t.Fatal("enumerate() differs from the nested-loop order")
+	}
+	if n := cfg.NumCells(); n != len(want) {
+		t.Fatalf("NumCells() = %d, want %d", n, len(want))
+	}
+}
+
+// TestStreamSweepMatchesRunSweep pins the streaming contract: rows
+// handed to emit arrive in canonical grid order and are identical to
+// the collected RunSweep result, for every worker count.
+func TestStreamSweepMatchesRunSweep(t *testing.T) {
+	cfg := SweepConfig{
+		Family: "genome", Sizes: []int{50}, PFails: []float64{0.01, 0.001},
+		CCRMin: 1e-3, CCRMax: 1e-2, PointsPerDecade: 2, Seed: 3,
+	}
+	cfg.Workers = 1
+	want, err := RunSweep(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		cfg.Workers = workers
+		var got []Row
+		if err := StreamSweep(context.Background(), cfg, func(r Row) error {
+			got = append(got, r)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: streamed rows differ from RunSweep", workers)
+		}
+	}
+}
+
+// TestStreamSweepCancellation cancels mid-stream and checks the emitted
+// prefix stays a clean, ordered cut of the full row set.
+func TestStreamSweepCancellation(t *testing.T) {
+	cfg := SweepConfig{
+		Family: "genome", Sizes: []int{50}, PFails: []float64{0.01, 0.001},
+		CCRMin: 1e-3, CCRMax: 1e-1, PointsPerDecade: 5, Seed: 3, Workers: 4,
+	}
+	full, err := RunSweep(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var got []Row
+	err = StreamSweep(ctx, cfg, func(r Row) error {
+		got = append(got, r)
+		if len(got) == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(got) >= len(full) {
+		t.Fatalf("emitted all %d rows despite cancellation", len(got))
+	}
+	if !reflect.DeepEqual(got, full[:len(got)]) {
+		t.Fatal("cancelled stream is not a prefix of the full row set")
+	}
+}
+
+// TestStreamSweepEmitErrorAborts pins that a failing sink stops the
+// sweep with that error rather than running the grid to completion.
+func TestStreamSweepEmitErrorAborts(t *testing.T) {
+	sink := errors.New("sink closed")
+	cfg := SweepConfig{
+		Family: "genome", Sizes: []int{50}, PFails: []float64{0.01, 0.001},
+		CCRMin: 1e-3, CCRMax: 1e-1, PointsPerDecade: 5, Seed: 3, Workers: 4,
+	}
+	emitted := 0
+	err := StreamSweep(context.Background(), cfg, func(Row) error {
+		emitted++
+		if emitted == 2 {
+			return sink
+		}
+		return nil
+	})
+	if !errors.Is(err, sink) {
+		t.Fatalf("err = %v, want the sink error", err)
+	}
+}

@@ -16,9 +16,11 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 
 	"repro/internal/ckpt"
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/pegasus"
 	"repro/internal/platform"
 )
@@ -131,31 +133,105 @@ type gridPoint struct {
 // enumerate lists the sweep's cells in canonical (size, procs, pfail,
 // ccr) order — the order serial code iterated them in.
 func (c SweepConfig) enumerate() []gridPoint {
-	ccrs := CCRGrid(c.CCRMin, c.CCRMax, c.PointsPerDecade)
-	var pts []gridPoint
-	for _, size := range c.Sizes {
-		for _, procs := range c.procsFor(size) {
-			for _, pfail := range c.PFails {
-				for _, ccr := range ccrs {
-					pts = append(pts, gridPoint{size, procs, pfail, ccr})
-				}
-			}
-		}
+	g := c.grid()
+	pts := make([]gridPoint, g.cells)
+	for i := range pts {
+		pts[i] = g.point(i)
 	}
 	return pts
+}
+
+// cellGrid is a sweep grid indexed by cell number: the per-size block
+// offsets are precomputed once so cell i's coordinates come from index
+// arithmetic alone. StreamSweep walks it instead of a materialized cell
+// list, keeping a million-cell request O(sizes), not O(cells), in grid
+// memory.
+type cellGrid struct {
+	pfails []float64
+	ccrs   []float64
+	blocks []sizeBlock
+	cells  int
+}
+
+// sizeBlock is the contiguous run of cells belonging to one workflow
+// size (each size can sweep a different processor list).
+type sizeBlock struct {
+	size  int
+	procs []int
+	start int // first cell index of this block
+}
+
+// grid resolves the (already defaulted) config into its indexed form.
+func (c SweepConfig) grid() cellGrid {
+	g := cellGrid{
+		pfails: c.PFails,
+		ccrs:   CCRGrid(c.CCRMin, c.CCRMax, c.PointsPerDecade),
+	}
+	for _, size := range c.Sizes {
+		procs := c.procsFor(size)
+		g.blocks = append(g.blocks, sizeBlock{size: size, procs: procs, start: g.cells})
+		g.cells += len(procs) * len(g.pfails) * len(g.ccrs)
+	}
+	return g
+}
+
+// point decodes cell i into its canonical (size, procs, pfail, ccr)
+// coordinates.
+func (g cellGrid) point(i int) gridPoint {
+	b := g.blocks[0]
+	for _, sb := range g.blocks[1:] {
+		if i < sb.start {
+			break
+		}
+		b = sb
+	}
+	off := i - b.start
+	perProc := len(g.pfails) * len(g.ccrs)
+	return gridPoint{
+		size:  b.size,
+		procs: b.procs[off/perProc],
+		pfail: g.pfails[off%perProc/len(g.ccrs)],
+		ccr:   g.ccrs[off%len(g.ccrs)],
+	}
 }
 
 // NumCells returns how many cells the sweep's grid enumerates (after
 // defaulting), without materializing them — servers use it to bound a
 // requested grid before committing to run it.
 func (c SweepConfig) NumCells() int {
-	c = c.withDefaults()
-	ccrs := len(CCRGrid(c.CCRMin, c.CCRMax, c.PointsPerDecade))
-	cols := 0
-	for _, size := range c.Sizes {
-		cols += len(c.procsFor(size))
+	return c.withDefaults().grid().cells
+}
+
+// streamWindow bounds the reorder buffer of a streamed sweep: up to
+// four completed rows per worker may wait for a straggling earlier
+// cell before the pool stalls, so peak row memory is O(workers), never
+// O(cells).
+func streamWindow(workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	return cols * len(c.PFails) * ccrs
+	return 4 * workers
+}
+
+// StreamSweep evaluates the same grid as RunSweep but hands each row to
+// emit in canonical cell order as soon as it (and every earlier cell)
+// has been computed, instead of materializing the whole result. Cells
+// still fan out over the worker pool; an index-window reorder buffer
+// (par.EmitOrdered) restores grid order, and its bound means a sweep of
+// any size holds only O(workers) completed rows at once. emit runs on a
+// single goroutine; returning an error from it aborts the sweep. On
+// error — a cell failure, a sink failure, cancellation — rows already
+// emitted stay emitted and the stream is cut short, so a consumer that
+// counted fewer rows than NumCells knows the sweep did not finish.
+func StreamSweep(ctx context.Context, cfg SweepConfig, emit func(Row) error) error {
+	cfg = cfg.withDefaults()
+	g := cfg.grid()
+	return par.EmitOrdered(ctx, cfg.Workers, g.cells, streamWindow(cfg.Workers),
+		func(i int) (Row, error) {
+			p := g.point(i)
+			return RunPoint(ctx, cfg, p.size, p.procs, p.pfail, p.ccr)
+		},
+		func(_ int, row Row) error { return emit(row) })
 }
 
 // RunSweep evaluates the three strategies over the full grid of one
@@ -163,22 +239,16 @@ func (c SweepConfig) NumCells() int {
 // is cloned, its file sizes rescaled to hit the CCR, λ calibrated from
 // pfail, one schedule built, and all three strategies evaluated on that
 // shared schedule with PathApprox (the method of choice per §VI-B).
-// Cells run on the Engine worker pool; rows come back in grid order
-// regardless of the worker count.
+// It is the collect-all wrapper over StreamSweep: cells run on the
+// worker pool and rows come back in grid order regardless of the worker
+// count.
 func RunSweep(ctx context.Context, cfg SweepConfig) ([]Row, error) {
 	cfg = cfg.withDefaults()
-	pts := cfg.enumerate()
-	rows := make([]Row, len(pts))
-	err := Engine{Workers: cfg.Workers}.ForEach(ctx, len(pts), func(i int) error {
-		p := pts[i]
-		row, err := RunPoint(ctx, cfg, p.size, p.procs, p.pfail, p.ccr)
-		if err != nil {
-			return err
-		}
-		rows[i] = row
+	rows := make([]Row, 0, cfg.NumCells())
+	if err := StreamSweep(ctx, cfg, func(r Row) error {
+		rows = append(rows, r)
 		return nil
-	})
-	if err != nil {
+	}); err != nil {
 		return nil, err
 	}
 	return rows, nil

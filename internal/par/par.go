@@ -123,6 +123,165 @@ func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error
 	return out, nil
 }
 
+// EmitOrdered runs fn(0), …, fn(n-1) on a pool of the given size and
+// hands every result to emit in ascending index order — the streaming
+// shape of expt.StreamSweep. Unlike MapCtx it never materializes all n
+// results: a completed result parks in a reorder buffer only until
+// every smaller index has been emitted, and a worker may not claim a
+// new index while `window` results are in flight or parked, so peak
+// memory is O(window) whatever n is. A window below the worker count
+// is raised to it (the pool needs one slot per goroutine to run at
+// all). emit is called from a single goroutine, never concurrently
+// with itself.
+//
+// Errors keep the ForEach contract: an fn failure (or a cancellation
+// observed between work items) with the smallest index wins, remaining
+// items are skipped, and rows already handed to emit stay emitted — the
+// stream is simply cut short. An emit failure aborts the run and is
+// returned as-is: it is necessarily the smallest-index failure, since
+// an index whose fn failed never reached the sink, so the emit cursor
+// cannot have passed it.
+func EmitOrdered[T any](ctx context.Context, workers, n, window int, fn func(i int) (T, error), emit func(i int, v T) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if window < workers {
+		window = workers
+	}
+	if window > n {
+		window = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			v, err := fn(i)
+			if err != nil {
+				return err
+			}
+			if err := emit(i, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	type slot struct {
+		i int
+		v T
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		stop     = make(chan struct{})
+		stopOnce sync.Once
+		// Unlike ForEachCtx's index-addressed errs slice, only the
+		// smallest-index failure is tracked — an O(n) slice here would
+		// break the primitive's own O(window) memory promise.
+		failMu  sync.Mutex
+		failIdx = -1
+		failErr error
+		// sem holds one permit per claimed-but-not-yet-emitted index: a
+		// worker acquires before claiming, the emitter releases after
+		// emitting, so at most `window` results ever exist at once.
+		sem     = make(chan struct{}, window)
+		results = make(chan slot, window)
+		emitErr error
+		emitted = make(chan struct{})
+	)
+	abort := func() {
+		failed.Store(true)
+		stopOnce.Do(func() { close(stop) })
+	}
+	fail := func(i int, err error) {
+		failMu.Lock()
+		if failIdx < 0 || i < failIdx {
+			failIdx, failErr = i, err
+		}
+		failMu.Unlock()
+		abort()
+	}
+	go func() {
+		defer close(emitted)
+		pending := make(map[int]T, window)
+		for expect := 0; expect < n; {
+			v, ok := pending[expect]
+			if !ok {
+				select {
+				case r := <-results:
+					pending[r.i] = r.v
+				case <-stop:
+					return
+				}
+				continue
+			}
+			delete(pending, expect)
+			if err := emit(expect, v); err != nil {
+				emitErr = err
+				abort()
+				return
+			}
+			expect++
+			// The emitted index's own permit is necessarily still in sem,
+			// so this receive can never block.
+			<-sem
+		}
+	}()
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case sem <- struct{}{}:
+				case <-stop:
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(i, err)
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					fail(i, err)
+					return
+				}
+				select {
+				case results <- slot{i, v}:
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// On the failure path the emitter may still be blocked on results;
+	// release it (a successful run lets it drain to expect == n).
+	if failed.Load() {
+		stopOnce.Do(func() { close(stop) })
+	}
+	<-emitted
+	// An emit failure happened at the emit cursor, which can never pass
+	// an index whose fn failed — so when both exist the emit error is
+	// the smaller-index one and wins.
+	if emitErr != nil {
+		return emitErr
+	}
+	return failErr
+}
+
 // Chunk is the trial count of one chunked-sampling work unit (Monte
 // Carlo, simulator trials). The chunking — and therefore every drawn
 // sample — depends only on the trial count and seed, never on the worker

@@ -7,10 +7,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
-
-	"repro/internal/par"
 )
 
 // ScenarioLog records scenario traffic as JSONL — one ScenarioRequest
@@ -51,18 +50,52 @@ const maxScenarioLogLine = maxRequestBody + 4096
 // WarmFromLog replays a JSONL scenario stream (one ScenarioRequest per
 // line, blank lines skipped) through the sharded plan cache on a pool
 // of the given size (0 = all cores), so a restarted daemon answers its
-// recorded traffic from memory. It returns how many scenarios now sit
-// in the cache as plans (duplicates of an already-warm scenario count
-// as warmed — they hit) and how many failed to plan. A syntactically
-// broken line aborts with an error naming the line number — a corrupt
-// log should be noticed, not silently half-replayed — while per-
-// scenario planning failures (e.g. a logged scenario whose workflow no
-// longer validates) only count toward failed.
+// recorded traffic from memory. Lines stream to the workers through a
+// bounded channel as they are scanned — the log is never resident as a
+// whole, so peak memory is the channel depth plus one in-flight
+// scenario per worker, not the line count (lines can be ~16 MiB when
+// they carry injected workflow documents).
+//
+// It returns how many scenarios now sit in the cache as plans
+// (duplicates of an already-warm scenario count as warmed — they hit)
+// and how many failed to plan. A syntactically broken or over-long
+// line aborts with an error naming the line number — a corrupt log
+// should be noticed, not silently half-replayed — while per-scenario
+// planning failures (e.g. a logged scenario whose workflow no longer
+// validates) only count toward failed. On abort the counts still
+// report the replay done before the bad line was reached.
 func (s *Service) WarmFromLog(ctx context.Context, r io.Reader, workers int) (warmed, failed int, err error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ch := make(chan Scenario, 2*workers)
+	var ok, bad atomic.Int64
+	var abortErr error
+	var abortOnce sync.Once
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sc := range ch {
+				if _, perr := s.Plan(ctx, sc); perr != nil {
+					if ctx.Err() != nil {
+						abortOnce.Do(func() { abortErr = perr })
+						return
+					}
+					bad.Add(1)
+					continue
+				}
+				ok.Add(1)
+			}
+		}()
+	}
+
 	scan := bufio.NewScanner(r)
 	scan.Buffer(make([]byte, 64*1024), maxScenarioLogLine)
-	var scenarios []Scenario
 	line := 0
+	var scanErr error
+scanLoop:
 	for scan.Scan() {
 		line++
 		raw := bytes.TrimSpace(scan.Bytes())
@@ -70,25 +103,36 @@ func (s *Service) WarmFromLog(ctx context.Context, r io.Reader, workers int) (wa
 			continue
 		}
 		var req ScenarioRequest
-		if err := json.Unmarshal(raw, &req); err != nil {
-			return 0, 0, fmt.Errorf("scenario log line %d: %w", line, err)
+		if uerr := json.Unmarshal(raw, &req); uerr != nil {
+			scanErr = fmt.Errorf("scenario log line %d: %w", line, uerr)
+			break
 		}
-		scenarios = append(scenarios, req.Scenario())
-	}
-	if err := scan.Err(); err != nil {
-		return 0, 0, fmt.Errorf("scenario log: %w", err)
-	}
-	var ok, bad atomic.Int64
-	err = par.ForEachCtx(ctx, workers, len(scenarios), func(i int) error {
-		if _, perr := s.Plan(ctx, scenarios[i]); perr != nil {
-			if ctx.Err() != nil {
-				return perr
-			}
-			bad.Add(1)
-			return nil
+		// req.Scenario() clones any injected document out of the
+		// scanner's buffer, so the next Scan cannot corrupt a scenario
+		// already queued.
+		select {
+		case ch <- req.Scenario():
+		case <-ctx.Done():
+			break scanLoop
 		}
-		ok.Add(1)
-		return nil
-	})
-	return int(ok.Load()), int(bad.Load()), err
+	}
+	if scanErr == nil {
+		if serr := scan.Err(); serr != nil {
+			// The scanner dies while reading the line AFTER the last one
+			// it returned (token too long, I/O error) — name that line so
+			// an over-long entry is findable in a million-line log.
+			scanErr = fmt.Errorf("scenario log line %d: %w", line+1, serr)
+		}
+	}
+	close(ch)
+	wg.Wait()
+	warmed, failed = int(ok.Load()), int(bad.Load())
+	switch {
+	case scanErr != nil:
+		return warmed, failed, scanErr
+	case abortErr != nil:
+		return warmed, failed, abortErr
+	default:
+		return warmed, failed, ctx.Err()
+	}
 }

@@ -1,9 +1,12 @@
 package hanccr
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -95,5 +98,69 @@ func TestWarmFromLogPlanFailuresCounted(t *testing.T) {
 	}
 	if warmed != 1 || failed != 1 {
 		t.Fatalf("warmed %d / failed %d, want 1 / 1", warmed, failed)
+	}
+}
+
+// TestWarmFromLogOverlongLineNamesLine pins the scanner-failure fix: a
+// line beyond the token limit used to surface as an anonymous
+// "scenario log:" error; it must now name the offending line so an
+// over-long entry is findable in a large log.
+func TestWarmFromLogOverlongLineNamesLine(t *testing.T) {
+	var log strings.Builder
+	log.WriteString(`{"family":"genome","tasks":40,"procs":3}` + "\n")
+	log.WriteString("\n") // blank lines still count toward the line number
+	log.WriteString(`{"workflow_name":"` + strings.Repeat("x", maxScenarioLogLine) + `"}` + "\n")
+	svc := NewService()
+	warmed, _, err := svc.WarmFromLog(context.Background(), strings.NewReader(log.String()), 2)
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want a line-3 scanner error, got %v", err)
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("err = %v, want bufio.ErrTooLong underneath", err)
+	}
+	if warmed != 1 {
+		t.Fatalf("warmed %d, want the 1 good line before the abort", warmed)
+	}
+}
+
+// TestWarmFromLogStreamsLargeLog replays a log far deeper than the
+// bounded hand-off channel through a small pool — the memory claim is
+// "never resident as a whole", and this at least pins that the
+// producer/worker plumbing survives depth >> channel capacity with
+// every line counted exactly once.
+func TestWarmFromLogStreamsLargeLog(t *testing.T) {
+	var log strings.Builder
+	const lines = 500
+	for i := 0; i < lines; i++ {
+		fmt.Fprintf(&log, `{"family":"genome","tasks":40,"procs":3,"seed":%d}`+"\n", i%7)
+	}
+	svc := NewService()
+	warmed, failed, err := svc.WarmFromLog(context.Background(), strings.NewReader(log.String()), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 distinct seeds; duplicates warm as cache hits and still count.
+	if warmed != lines || failed != 0 {
+		t.Fatalf("warmed %d / failed %d, want %d / 0", warmed, failed, lines)
+	}
+	if st := svc.Stats(); st.Entries != 7 {
+		t.Fatalf("cache holds %d plans, want 7 distinct", st.Entries)
+	}
+}
+
+// TestWarmFromLogCancellation pins that a cancelled context stops the
+// replay with the context error instead of hanging the producer on the
+// bounded channel.
+func TestWarmFromLogCancellation(t *testing.T) {
+	var log strings.Builder
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&log, `{"family":"genome","tasks":40,"procs":3,"seed":%d}`+"\n", i)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	svc := NewService()
+	_, _, err := svc.WarmFromLog(ctx, strings.NewReader(log.String()), 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
