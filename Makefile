@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench-smoke bench bench-scaling golden-update fuzz-smoke serve-smoke
+.PHONY: check vet build test race bench-smoke bench bench-scaling golden-update fuzz-smoke serve-smoke stress-smoke
 
 check: vet build race bench-smoke
 
@@ -83,7 +83,49 @@ serve-smoke:
 	n=$$(grep -c . /tmp/hanccr-scenarios.jsonl || true); \
 	[ "$$n" -ge 1 ] || { echo "serve-smoke: scenario log has $$n lines, want >= 1 (only the cold ligo job logs; warm hits must not)"; exit 1; }; \
 	grep -q '"family":"ligo"' /tmp/hanccr-scenarios.jsonl; \
+	echo "serve-smoke: endpoints OK, starting overload boot"; \
+	/tmp/hanccr-serve -addr 127.0.0.1:18081 -max-inflight 1 -drain 10s & pid2=$$!; \
+	trap "kill $$pid2 2>/dev/null || true" EXIT; \
+	ok=0; \
+	for i in $$(seq 1 50); do \
+		if curl -fsS http://127.0.0.1:18081/healthz >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	[ $$ok -eq 1 ] || { echo "serve-smoke: overload daemon never came up"; exit 1; }; \
+	curl -fsS http://127.0.0.1:18081/v1/stats | grep -q '"max_inflight":1' \
+		|| { echo "serve-smoke: /v1/stats does not report -max-inflight 1"; exit 1; }; \
+	curl -fsS -X POST -d '{"family":"genome","tasks":300,"procs":35,"trials":3000000}' \
+		http://127.0.0.1:18081/v1/simulate > /tmp/hanccr-slow-sim.json & simpid=$$!; \
+	sleep 0.3; \
+	shed=0; \
+	for i in $$(seq 1 100); do \
+		code=$$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+			-d '{"family":"montage","tasks":50,"procs":5}' http://127.0.0.1:18081/v1/plan); \
+		if [ "$$code" = "429" ]; then shed=1; break; fi; \
+		sleep 0.05; \
+	done; \
+	[ $$shed -eq 1 ] || { echo "serve-smoke: -max-inflight 1 never shed a 429 while the slow simulate held the slot"; exit 1; }; \
+	curl -fsS http://127.0.0.1:18081/v1/stats | grep -q '"shed":0' \
+		&& { echo "serve-smoke: /v1/stats shed counter stayed 0 after a 429"; exit 1; }; \
+	kill -TERM $$pid2; \
+	drain=0; \
+	for i in $$(seq 1 40); do \
+		code=$$(curl -s -o /dev/null -w '%{http_code}' http://127.0.0.1:18081/healthz); \
+		if [ "$$code" = "503" ]; then drain=1; break; fi; \
+		sleep 0.05; \
+	done; \
+	[ $$drain -eq 1 ] || { echo "serve-smoke: requests during drain did not get a deterministic 503"; exit 1; }; \
+	wait $$simpid || { echo "serve-smoke: in-flight simulate was cut off by the drain"; exit 1; }; \
+	grep -q '"mean"' /tmp/hanccr-slow-sim.json \
+		|| { echo "serve-smoke: in-flight simulate returned no result through the drain"; exit 1; }; \
+	wait $$pid2 || true; \
 	echo "serve-smoke: OK"
+
+# The resilience suite (admission gate saturation, request budgets,
+# drain) plus the mixed-traffic stress test under the race detector —
+# the overload-protection gate CI runs next to serve-smoke.
+stress-smoke:
+	$(GO) test -race -count=1 -run 'TestResilience|TestStressMixedTrafficUnderSaturation' -v .
 
 # Short fuzz pass over every fuzz target in the tree. Packages and
 # targets are derived via `go list` / `go test -list`, so the target

@@ -80,7 +80,9 @@ func (s *Service) Batch(ctx context.Context, jobs []Job, opts ...BatchOption) ([
 	})
 }
 
-// runJob executes one batch job against the cache.
+// runJob executes one batch job against the cache. Each job claims its
+// own admission slot and request budget (the gated helpers), so a
+// batch is shed job-by-job under saturation instead of all-or-nothing.
 func (s *Service) runJob(ctx context.Context, j Job) JobResult {
 	r := JobResult{Kind: j.Kind}
 	switch j.Kind {
@@ -94,17 +96,13 @@ func (s *Service) runJob(ctx context.Context, j Job) JobResult {
 		return r
 	}
 	r.Key = j.Scenario.Key()
-	p, hit, err := s.planForKey(ctx, j.Scenario, r.Key)
-	if err != nil {
-		r.Err = err
-		return r
-	}
-	r.Hit, r.Plan = hit, p
 	switch j.Kind {
 	case JobEstimate:
-		r.Estimate, r.Err = p.Estimate(ctx, j.Method, j.EstimateOptions...)
+		r.Plan, r.Estimate, r.Hit, r.Err = s.estimateForKey(ctx, j.Scenario, r.Key, j.Method, j.EstimateOptions...)
 	case JobSimulate:
-		r.Sim, r.Err = p.Simulate(ctx, j.SimOptions...)
+		r.Plan, r.Sim, r.Hit, r.Err = s.simulateForKey(ctx, j.Scenario, r.Key, j.SimOptions...)
+	default:
+		r.Plan, r.Hit, r.Err = s.planGated(ctx, j.Scenario, r.Key)
 	}
 	return r
 }

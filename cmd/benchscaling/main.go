@@ -20,8 +20,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
+	"strings"
+	"sync"
 	"time"
 
 	hanccr "repro"
@@ -36,6 +42,26 @@ type result struct {
 	Gated       bool         `json:"gated"` // false on single-core hosts
 	Panels      []panel      `json:"panels"`
 	SweepStream []streamStat `json:"sweep_stream"`
+	Saturation  *saturStat   `json:"saturation,omitempty"`
+}
+
+// saturStat is the overload-protection panel: cold plans offered over
+// HTTP at several times the admission bound. It records how much
+// traffic the gate shed (429s), how fast the rejections came back, and
+// the latency distribution of the admitted requests — the "sheds fast,
+// admitted work unharmed" contract, measured rather than asserted. The
+// quantiles come from a fixed-bucket histogram (latencyHist), so the
+// panel needs no per-request sample storage and no sorting.
+type saturStat struct {
+	MaxInFlight   int     `json:"max_inflight"`
+	Concurrency   int     `json:"concurrency"`
+	Offered       int     `json:"offered"`
+	Admitted      int     `json:"admitted"`
+	Shed          int     `json:"shed"`
+	ShedRate      float64 `json:"shed_rate"`
+	AdmittedP50Ms float64 `json:"admitted_p50_ms"`
+	AdmittedP99Ms float64 `json:"admitted_p99_ms"`
+	ShedP99Ms     float64 `json:"shed_p99_ms"`
 }
 
 type panel struct {
@@ -136,6 +162,18 @@ func main() {
 			workers, st.BufferedSeconds, float64(st.BufferedPeakHeap)/1e6,
 			st.StreamedSeconds, float64(st.StreamedPeakHeap)/1e6)
 	}
+
+	// Saturation panel: not speedup-gated (it measures the admission
+	// gate, not parallel scaling), but any response outside the overload
+	// contract fails the run.
+	sat, err := runSaturationPanel(ctx)
+	if err != nil {
+		fatal(fmt.Errorf("saturation: %w", err))
+	}
+	res.Saturation = &sat
+	fmt.Printf("satur  bound=%d conc=%d offered=%d shed=%d (%.0f%%, p99=%.1fms) admitted p50=%.1fms p99=%.1fms\n",
+		sat.MaxInFlight, sat.Concurrency, sat.Offered, sat.Shed, 100*sat.ShedRate,
+		sat.ShedP99Ms, sat.AdmittedP50Ms, sat.AdmittedP99Ms)
 
 	blob, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -294,6 +332,137 @@ func runBatchPanel(ctx context.Context, workers int) error {
 		}
 	}
 	return nil
+}
+
+// latencyHist is a fixed-bucket latency histogram: linear buckets of a
+// constant width with the last bucket absorbing overflow. Quantiles
+// read the bucket's upper edge, so they are conservative by at most one
+// bucket width — plenty for a milliseconds-scale panel, with O(1)
+// memory regardless of request count.
+type latencyHist struct {
+	width   time.Duration
+	buckets []uint64
+	count   uint64
+}
+
+func newLatencyHist(width time.Duration, n int) *latencyHist {
+	return &latencyHist{width: width, buckets: make([]uint64, n)}
+}
+
+func (h *latencyHist) record(d time.Duration) {
+	i := int(d / h.width)
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+	h.count++
+}
+
+// quantileMs returns the q-quantile (0 < q <= 1) in milliseconds.
+func (h *latencyHist) quantileMs(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, b := range h.buckets {
+		cum += b
+		if cum >= target {
+			return float64(i+1) * float64(h.width) / float64(time.Millisecond)
+		}
+	}
+	return float64(len(h.buckets)) * float64(h.width) / float64(time.Millisecond)
+}
+
+// runSaturationPanel offers all-cold plan traffic (distinct seeds, so
+// every request really computes) over HTTP at 4x the admission bound
+// and measures the shed rate plus the latency split between rejected
+// and admitted requests. The bound is fixed rather than CPU-derived so
+// the shed rate is comparable across runners, and the planner carries
+// a small scripted stall: a pure CPU-bound plan on a single-core host
+// can finish inside one scheduler quantum, serializing the requests
+// and hiding the gate entirely, while a sleep yields the processor so
+// admitted requests genuinely overlap everywhere. Any status other
+// than 200 or 429 is a contract violation and fails the tool.
+func runSaturationPanel(ctx context.Context) (saturStat, error) {
+	const (
+		bound       = 2
+		concurrency = 4 * bound
+		perWorker   = 40
+		stall       = 2 * time.Millisecond
+	)
+	svc := hanccr.NewService(
+		hanccr.WithMaxInFlight(bound), hanccr.WithShards(4),
+		hanccr.WithPlanner(func(ctx context.Context, sc hanccr.Scenario) (*hanccr.Plan, error) {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(stall):
+			}
+			return hanccr.NewPlan(ctx, sc)
+		}),
+	)
+	srv := httptest.NewServer(hanccr.NewHandler(svc))
+	defer srv.Close()
+
+	admitted := newLatencyHist(200*time.Microsecond, 5000) // 1s range
+	shed := newLatencyHist(200*time.Microsecond, 5000)
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for g := 0; g < concurrency; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < perWorker; it++ {
+				body := fmt.Sprintf(`{"family":"genome","tasks":100,"procs":8,"seed":%d}`, 1000*g+it)
+				start := time.Now()
+				resp, err := srv.Client().Post(srv.URL+"/v1/plan", "application/json", strings.NewReader(body))
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				d := time.Since(start)
+				mu.Lock()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					admitted.record(d)
+				case http.StatusTooManyRequests:
+					shed.record(d)
+				default:
+					if firstErr == nil {
+						firstErr = fmt.Errorf("plan under saturation: status %d, want 200 or 429", resp.StatusCode)
+					}
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return saturStat{}, firstErr
+	}
+	offered := int(admitted.count + shed.count)
+	st := saturStat{
+		MaxInFlight: bound, Concurrency: concurrency, Offered: offered,
+		Admitted: int(admitted.count), Shed: int(shed.count),
+		AdmittedP50Ms: admitted.quantileMs(0.50),
+		AdmittedP99Ms: admitted.quantileMs(0.99),
+		ShedP99Ms:     shed.quantileMs(0.99),
+	}
+	if offered > 0 {
+		st.ShedRate = float64(st.Shed) / float64(offered)
+	}
+	return st, nil
 }
 
 func fatal(err error) {

@@ -12,6 +12,7 @@
 //	POST /v1/batch     {"jobs":[{"kind":"plan",...},{"kind":"estimate",...}]}
 //	POST /v1/sweep     {"family":"montage","sizes":[300]}
 //	GET  /healthz
+//	GET  /v1/stats
 //
 // Scenario fields omitted from a request take the same defaults as the
 // CLI flag block. -warm replays a JSONL scenario log through the cache
@@ -21,8 +22,16 @@
 // is answered as NDJSON, one row per line flushed as it is computed;
 // streamed grids may hold up to -stream-cells cells (default 1M)
 // because rows never accumulate server-side, where buffered sweeps
-// keep the fixed 10k in-memory cap. SIGINT/SIGTERM drain in-flight
-// requests before exit.
+// keep the fixed 10k in-memory cap.
+//
+// Overload protection: -max-inflight bounds concurrently executing
+// requests (excess traffic is shed immediately with 429 + Retry-After,
+// and heavy batch/sweep requests are cost-shed against the remaining
+// headroom before they run); -request-timeout puts a server-side
+// budget on each admitted request (503 when it fires). GET /v1/stats
+// exposes the gauge and counters. SIGINT/SIGTERM drain: in-flight
+// requests (streams included) run to completion, new requests get a
+// deterministic 503 + Connection: close, then the listener closes.
 package main
 
 import (
@@ -56,8 +65,10 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("warm %s: %w", sf.Warm, err))
 		}
-		log.Printf("serve: warmed %d scenarios from %s in %s (%d failed)",
-			warmed, sf.Warm, time.Since(start).Truncate(time.Millisecond), failed)
+		st := svc.Stats()
+		log.Printf("serve: warmed %d scenarios from %s in %s (%d failed; cache %d/%d, in-flight %d/%d, shed %d, deadline-expired %d)",
+			warmed, sf.Warm, time.Since(start).Truncate(time.Millisecond), failed,
+			st.Entries, st.Capacity, st.InFlight, st.MaxInFlight, st.Shed, st.DeadlineExpired)
 	}
 
 	handlerOpts := []hanccr.HandlerOption{
@@ -78,10 +89,19 @@ func main() {
 		log.Printf("serve: recording scenario traffic to %s", sf.LogScenarios)
 	}
 
+	gate := new(hanccr.DrainGate)
 	srv := &http.Server{
-		Addr:              sf.Addr,
-		Handler:           logRequests(hanccr.NewHandler(svc, handlerOpts...)),
+		Addr:    sf.Addr,
+		Handler: logRequests(gate.Wrap(hanccr.NewHandler(svc, handlerOpts...))),
+		// ReadHeaderTimeout bounds slow-loris header dribble and
+		// IdleTimeout reclaims abandoned keep-alive connections. There is
+		// deliberately NO blanket WriteTimeout: it would sever streamed
+		// NDJSON sweeps mid-flight regardless of progress. The write-side
+		// budget is per request instead — -request-timeout bounds each
+		// admitted request's compute, and a disconnected client tears a
+		// stream down via context cancellation.
 		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -99,10 +119,27 @@ func main() {
 	case <-ctx.Done():
 	}
 	log.Printf("serve: shutting down (draining up to %s)", sf.Drain)
-	shutCtx, cancel := context.WithTimeout(context.Background(), sf.Drain)
-	defer cancel()
-	if err := srv.Shutdown(shutCtx); err != nil {
-		fatal(err)
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), sf.Drain)
+	defer cancelDrain()
+	// Drain BEFORE Shutdown: the gate answers new requests with a
+	// deterministic 503 + Connection: close while in-flight work (long
+	// NDJSON streams included) finishes; only then does Shutdown close
+	// the listener. Shutdown first would tear the listener down
+	// immediately and new connections would die as resets.
+	srv.SetKeepAlivesEnabled(false)
+	if err := gate.Drain(drainCtx); err != nil {
+		// The drain budget ran out with requests still in flight; cut
+		// them off rather than hang shutdown forever.
+		log.Printf("serve: drain budget expired with requests still in flight: %v", err)
+		if cerr := srv.Close(); cerr != nil {
+			fatal(cerr)
+		}
+	} else {
+		shutCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			fatal(err)
+		}
 	}
 	if logFile != nil {
 		if err := logFile.Close(); err != nil {

@@ -107,14 +107,16 @@ func BindScenarioFlags(fs *flag.FlagSet, names ...string) *ScenarioFlags {
 // place like the scenario flags so daemon deployments cannot drift
 // from the documented defaults.
 type ServeFlags struct {
-	Addr         string
-	Cache        int
-	Shards       int
-	Drain        time.Duration
-	Warm         string
-	LogScenarios string
-	WarmWorkers  int
-	StreamCells  int
+	Addr           string
+	Cache          int
+	Shards         int
+	Drain          time.Duration
+	Warm           string
+	LogScenarios   string
+	WarmWorkers    int
+	StreamCells    int
+	MaxInFlight    int
+	RequestTimeout time.Duration
 }
 
 // BindServeFlags registers the daemon flags on fs and returns the
@@ -135,12 +137,19 @@ func BindServeFlags(fs *flag.FlagSet) *ServeFlags {
 	fs.StringVar(&f.LogScenarios, "log-scenarios", "", "append live scenario traffic to this JSONL file (feed it back via -warm)")
 	fs.IntVar(&f.WarmWorkers, "warm-workers", 0, "goroutines replaying the warm log (0 = all cores)")
 	fs.IntVar(&f.StreamCells, "stream-cells", f.StreamCells, "cell ceiling for STREAMED /v1/sweep grids (buffered sweeps keep the fixed in-memory cap)")
+	fs.IntVar(&f.MaxInFlight, "max-inflight", 0, "admission bound: concurrently executing requests before the daemon sheds with 429 (0 = 16 x GOMAXPROCS)")
+	fs.DurationVar(&f.RequestTimeout, "request-timeout", 0, "server-side budget per admitted request; an expired budget answers 503 (0 = none)")
 	return f
 }
 
 // Service builds the planner the parsed daemon flags describe.
+// MaxInFlight and RequestTimeout pass through the option guards, so
+// zero values keep the Service defaults.
 func (f *ServeFlags) Service() *Service {
-	return NewService(WithCacheCapacity(f.Cache), WithShards(f.Shards))
+	return NewService(
+		WithCacheCapacity(f.Cache), WithShards(f.Shards),
+		WithMaxInFlight(f.MaxInFlight), WithRequestTimeout(f.RequestTimeout),
+	)
 }
 
 // Scenario builds and validates the scenario the parsed flags

@@ -59,6 +59,13 @@ var (
 	// ErrUnknownMethod reports an estimator name outside
 	// PathApprox | MonteCarlo | Normal | Dodin.
 	ErrUnknownMethod = errors.New("hanccr: unknown estimation method")
+	// ErrOverloaded reports a request shed by the Service's admission
+	// gate: the configured in-flight bound (WithMaxInFlight) is fully
+	// occupied, or a batch/sweep's estimated cost exceeds the current
+	// headroom. The request never ran — retrying after a short backoff
+	// is safe and is exactly what the HTTP layer's 429 + Retry-After
+	// tells clients to do.
+	ErrOverloaded = errors.New("hanccr: service overloaded")
 )
 
 // Strategy names a checkpointing policy.

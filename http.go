@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/expt"
 	"repro/internal/pegasus"
@@ -206,6 +208,38 @@ const maxSweepCells = 10_000
 // of magnitude above the buffered cap.
 const DefaultStreamSweepCells = 1_000_000
 
+// shedBatch rejects a batch whose job count or total trial demand
+// exceeds the daemon's CURRENT headroom: the static caps scaled by the
+// admission gate's free fraction (see Service.shedCap). An idle daemon
+// accepts up to the static caps — this sheds nothing the fixed limits
+// would have allowed — while a saturated one answers heavy batches
+// with ErrOverloaded before any job runs.
+func (s *Service) shedBatch(jobs, trials int) error {
+	if limit := s.shedCap(maxBatchJobs); jobs > limit {
+		s.shed.Add(1)
+		return fmt.Errorf("%w: %d batch jobs above the current headroom of %d (%d free of %d in-flight slots)",
+			ErrOverloaded, jobs, limit, s.Headroom(), s.maxInFlight)
+	}
+	if limit := s.shedCap(maxBatchTrials); trials > limit {
+		s.shed.Add(1)
+		return fmt.Errorf("%w: %d total batch trials above the current headroom of %d (%d free of %d in-flight slots)",
+			ErrOverloaded, trials, limit, s.Headroom(), s.maxInFlight)
+	}
+	return nil
+}
+
+// shedSweep is shedBatch's analogue for a sweep grid: cells against
+// the request's static cell ceiling (buffered or streamed) scaled by
+// the free fraction of the admission gate.
+func (s *Service) shedSweep(cells, staticCap int) error {
+	if limit := s.shedCap(staticCap); cells > limit {
+		s.shed.Add(1)
+		return fmt.Errorf("%w: sweep grid of %d cells above the current headroom of %d (%d free of %d in-flight slots)",
+			ErrOverloaded, cells, limit, s.Headroom(), s.maxInFlight)
+	}
+	return nil
+}
+
 // checkTrials rejects per-request trial counts the daemon is unwilling
 // to allocate. Zero means "use the default" and passes.
 func checkTrials(n int) error {
@@ -278,6 +312,14 @@ func NewHandler(svc *Service, opts ...HandlerOption) http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		cfg.writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Cache: svc.Stats()})
 	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			cfg.writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "use GET"})
+			return
+		}
+		cfg.writeJSON(w, http.StatusOK, svc.Stats())
+	})
 	mux.HandleFunc("/v1/plan", func(w http.ResponseWriter, r *http.Request) {
 		var req ScenarioRequest
 		if !cfg.readJSON(w, r, &req) {
@@ -306,12 +348,12 @@ func NewHandler(svc *Service, opts ...HandlerOption) http.Handler {
 			return
 		}
 		sc := req.Scenario()
-		plan, key, hit, err := planOnce(r.Context(), svc, sc)
-		if err != nil {
+		if err := sc.Validate(); err != nil {
 			cfg.writeError(w, r, err)
 			return
 		}
-		em, err := plan.Estimate(r.Context(), Method(req.Method),
+		key := sc.Key()
+		_, em, hit, err := svc.estimateForKey(r.Context(), sc, key, Method(req.Method),
 			estimateOptions(req.MCTrials, req.MCSeed, req.Workers)...)
 		if err != nil {
 			cfg.writeError(w, r, err)
@@ -331,12 +373,13 @@ func NewHandler(svc *Service, opts ...HandlerOption) http.Handler {
 			return
 		}
 		sc := req.Scenario()
-		plan, key, hit, err := planOnce(r.Context(), svc, sc)
-		if err != nil {
+		if err := sc.Validate(); err != nil {
 			cfg.writeError(w, r, err)
 			return
 		}
-		res, err := plan.Simulate(r.Context(), simOptions(req.Trials, req.SimSeed, req.Workers)...)
+		key := sc.Key()
+		_, res, hit, err := svc.simulateForKey(r.Context(), sc, key,
+			simOptions(req.Trials, req.SimSeed, req.Workers)...)
 		if err != nil {
 			cfg.writeError(w, r, err)
 			return
@@ -361,8 +404,18 @@ func NewHandler(svc *Service, opts ...HandlerOption) http.Handler {
 			cfg.writeError(w, r, fmt.Errorf("%w: %d jobs above the daemon limit of %d", ErrBadScenario, len(req.Jobs), maxBatchJobs))
 			return
 		}
-		if total := batchTrials(req.Jobs); total > maxBatchTrials {
+		total := batchTrials(req.Jobs)
+		if total > maxBatchTrials {
 			cfg.writeError(w, r, fmt.Errorf("%w: %d total trials across the batch above the daemon limit of %d", ErrBadScenario, total, maxBatchTrials))
+			return
+		}
+		// Cost-based load shedding: the static caps above bound what an
+		// IDLE daemon accepts; under load the effective caps shrink with
+		// the admission gate's free fraction, so a heavy batch is rejected
+		// in microseconds instead of burning a worker pool to discover
+		// per-job 429s.
+		if err := svc.shedBatch(len(req.Jobs), total); err != nil {
+			cfg.writeError(w, r, err)
 			return
 		}
 		resp := BatchResponse{Results: make([]BatchResult, len(req.Jobs))}
@@ -408,12 +461,29 @@ func NewHandler(svc *Service, opts ...HandlerOption) http.Handler {
 			cfg.writeError(w, r, err)
 			return
 		}
-		if stream {
-			cfg.streamSweep(w, r, scfg)
+		// Cost-based load shedding, then one admission slot for the whole
+		// grid: a sweep's cells run on the experiment engine's own pool,
+		// so without the token the gate would never see sweep load — and
+		// without the cell pre-screen a saturated daemon would still
+		// accept million-cell grids.
+		if err := svc.shedSweep(scfg.NumCells(), capCells); err != nil {
+			cfg.writeError(w, r, err)
 			return
 		}
-		rows, err := expt.RunSweep(r.Context(), scfg)
+		if err := svc.acquire(); err != nil {
+			cfg.writeError(w, r, err)
+			return
+		}
+		defer svc.release()
+		ctx, cancel := svc.budget(r.Context())
+		defer cancel()
+		if stream {
+			svc.noteDeadline(r.Context(), cfg.streamSweep(w, r, ctx, scfg))
+			return
+		}
+		rows, err := expt.RunSweep(ctx, scfg)
 		if err != nil {
+			svc.noteDeadline(r.Context(), err)
 			cfg.writeError(w, r, err)
 			return
 		}
@@ -458,15 +528,15 @@ func sweepRow(row expt.Row) SweepRow {
 // stream failure therefore cannot turn into a 4xx/5xx — it appends a
 // trailing {"error": ...} object and cuts the stream short of the
 // advertised cell count instead.
-func (c *handlerConfig) streamSweep(w http.ResponseWriter, r *http.Request, scfg expt.SweepConfig) {
+func (c *handlerConfig) streamSweep(w http.ResponseWriter, r *http.Request, ctx context.Context, scfg expt.SweepConfig) error {
 	w.Header().Set("Content-Type", ndjsonContentType)
 	w.WriteHeader(http.StatusOK)
 	out := newLineWriter(w)
 	if err := out.writeLine(SweepStreamHeader{Family: scfg.Family, Cells: scfg.NumCells()}); err != nil {
 		c.logf("http: sweep stream: write header: %v", err)
-		return
+		return err
 	}
-	err := expt.StreamSweep(r.Context(), scfg, func(row expt.Row) error {
+	err := expt.StreamSweep(ctx, scfg, func(row expt.Row) error {
 		return out.writeLine(sweepRow(row))
 	})
 	switch {
@@ -482,6 +552,7 @@ func (c *handlerConfig) streamSweep(w http.ResponseWriter, r *http.Request, scfg
 			c.logf("http: sweep stream: write trailing error: %v", werr)
 		}
 	}
+	return err
 }
 
 // record appends one scenario line to the configured log, if any.
@@ -697,15 +768,16 @@ func simOptions(trials int, seed *int64, workers int) []SimOption {
 	return opts
 }
 
-// planOnce validates, hashes and plans a request scenario, computing
-// the canonical key exactly once (it hashes the full injected document,
-// so recomputing it per response field would double the cost).
+// planOnce validates, hashes and plans a request scenario through the
+// admission gate, computing the canonical key exactly once (it hashes
+// the full injected document, so recomputing it per response field
+// would double the cost).
 func planOnce(ctx context.Context, svc *Service, sc Scenario) (*Plan, string, bool, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, "", false, err
 	}
 	key := sc.Key()
-	plan, hit, err := svc.planForKey(ctx, sc, key)
+	plan, hit, err := svc.planGated(ctx, sc, key)
 	return plan, key, hit, err
 }
 
@@ -773,8 +845,9 @@ func clientGone(r *http.Request, err error) bool {
 
 // errorStatus maps façade errors onto HTTP statuses: invalid input is
 // the client's fault (400), a structurally impossible workflow is 422,
-// a server-side cancellation (shutdown drain, deadline) 503, anything
-// else 500. Request-context cancellation — the client's own
+// an admission-gate rejection 429 (retry after a short backoff), a
+// server-side cancellation (shutdown drain, request deadline) 503,
+// anything else 500. Request-context cancellation — the client's own
 // disconnect — never reaches this table; writeError intercepts it
 // first.
 func errorStatus(err error) int {
@@ -784,11 +857,20 @@ func errorStatus(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, ErrNotMSPG):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
 }
+
+// retryAfterSeconds is the backoff the daemon advertises on 429
+// (admission gate full, cost shed) and drain-time 503 responses. Shed
+// requests never ran, so retrying is always safe; one second is long
+// enough for a burst to pass the gate and short enough that a load
+// balancer's retry budget survives it.
+const retryAfterSeconds = "1"
 
 func (c *handlerConfig) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	if clientGone(r, err) {
@@ -799,7 +881,13 @@ func (c *handlerConfig) writeError(w http.ResponseWriter, r *http.Request, err e
 		w.WriteHeader(statusClientClosedRequest)
 		return
 	}
-	c.writeJSON(w, errorStatus(err), map[string]string{"error": err.Error()})
+	status := errorStatus(err)
+	if status == http.StatusTooManyRequests {
+		// A shed request did not run; tell well-behaved clients when to
+		// come back instead of letting them hammer the gate.
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
+	c.writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
 func (c *handlerConfig) writeJSON(w http.ResponseWriter, status int, v any) {
@@ -839,4 +927,73 @@ func (lw *lineWriter) writeLine(v any) error {
 		lw.flush.Flush()
 	}
 	return nil
+}
+
+// DrainGate makes graceful shutdown deterministic for clients: once
+// Drain is called, every NEW request is answered immediately with
+// 503 + Retry-After + Connection: close while the requests already
+// past the gate run to completion. Without it, requests arriving
+// during shutdown race the listener teardown and die as connection
+// resets — indistinguishable from a crash to the load balancer that
+// should simply move on to the next replica.
+//
+// Wrap the daemon's handler, then on shutdown call Drain BEFORE
+// closing the listener (http.Server.Shutdown closes listeners first,
+// which is exactly the race this type exists to close):
+//
+//	gate := new(hanccr.DrainGate)
+//	srv := &http.Server{Handler: gate.Wrap(h)}
+//	...
+//	gate.Drain(ctx) // 503 new work, wait for in-flight
+//	srv.Shutdown(ctx)
+type DrainGate struct {
+	draining atomic.Bool
+	active   atomic.Int64
+}
+
+// Wrap gates next behind the drain flag and counts its in-flight
+// requests.
+func (g *DrainGate) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Count first, check second: a request that increments before the
+		// flag flips is visible to Drain's wait loop, so it is allowed to
+		// finish; one that increments after sees the flag and is refused.
+		// Either way no request is both admitted and unwaited-for.
+		g.active.Add(1)
+		defer g.active.Add(-1)
+		if g.draining.Load() {
+			w.Header().Set("Retry-After", retryAfterSeconds)
+			w.Header().Set("Connection", "close")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "server draining"})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Draining reports whether Drain has been called.
+func (g *DrainGate) Draining() bool { return g.draining.Load() }
+
+// Drain flips the gate — from now on new requests get a deterministic
+// 503 — and waits until every in-flight request has finished, polling
+// rather than blocking so it needs no coordination with the handlers.
+// It returns ctx.Err() if the context expires first (in-flight streams
+// may legitimately outlast a drain budget; the caller's Shutdown then
+// cuts them off).
+func (g *DrainGate) Drain(ctx context.Context) error {
+	g.draining.Store(true)
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if g.active.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
 }

@@ -1,0 +1,139 @@
+package faulty
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestZeroFaultIsNoOp(t *testing.T) {
+	inj := New()
+	for i := 0; i < 3; i++ {
+		if err := inj.Inject(context.Background()); err != nil {
+			t.Fatalf("call %d: %v", i+1, err)
+		}
+	}
+	if got := inj.Calls(); got != 3 {
+		t.Fatalf("Calls() = %d, want 3", got)
+	}
+}
+
+func TestOnCallTargetsExactlyTheNthCall(t *testing.T) {
+	boom := errors.New("boom")
+	inj := New()
+	inj.OnCall(2, Fault{Err: boom})
+	ctx := context.Background()
+	if err := inj.Inject(ctx); err != nil {
+		t.Fatalf("call 1: %v", err)
+	}
+	if err := inj.Inject(ctx); !errors.Is(err, boom) {
+		t.Fatalf("call 2 = %v, want boom", err)
+	}
+	if err := inj.Inject(ctx); err != nil {
+		t.Fatalf("call 3: %v", err)
+	}
+}
+
+func TestEveryAppliesWhereOnCallDoesNot(t *testing.T) {
+	slow := errors.New("slow lane")
+	inj := New()
+	inj.Every(Fault{Err: slow})
+	inj.OnCall(2, Fault{}) // explicitly healthy
+	ctx := context.Background()
+	if err := inj.Inject(ctx); !errors.Is(err, slow) {
+		t.Fatalf("call 1 = %v, want the Every fault", err)
+	}
+	if err := inj.Inject(ctx); err != nil {
+		t.Fatalf("call 2 = %v, want the OnCall override (no-op)", err)
+	}
+}
+
+func TestDelayIsCancellable(t *testing.T) {
+	inj := New()
+	inj.Every(Fault{Delay: time.Hour})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- inj.Inject(ctx) }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("delayed call did not observe cancellation")
+	}
+}
+
+func TestHangBlocksUntilCancel(t *testing.T) {
+	inj := New()
+	inj.OnCall(1, Fault{Hang: true})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- inj.Inject(ctx) }()
+	select {
+	case err := <-done:
+		t.Fatalf("hung call returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hung call did not unblock on cancellation")
+	}
+}
+
+func TestDelayErrComposes(t *testing.T) {
+	boom := errors.New("late failure")
+	inj := New()
+	inj.OnCall(1, Fault{Delay: time.Millisecond, Err: boom})
+	start := time.Now()
+	if err := inj.Inject(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom after the delay", err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("Err returned before the scripted Delay elapsed")
+	}
+}
+
+func TestWithSleepReplacesTheClock(t *testing.T) {
+	var slept time.Duration
+	inj := New(WithSleep(func(_ context.Context, d time.Duration) error {
+		slept = d
+		return nil
+	}))
+	inj.OnCall(1, Fault{Delay: time.Hour})
+	start := time.Now()
+	if err := inj.Inject(context.Background()); err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	if slept != time.Hour {
+		t.Fatalf("stub clock saw %v, want 1h", slept)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("stubbed sleep still took real time")
+	}
+}
+
+func TestConcurrentCallsAccountExactly(t *testing.T) {
+	inj := New()
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = inj.Inject(context.Background())
+		}()
+	}
+	wg.Wait()
+	if got := inj.Calls(); got != n {
+		t.Fatalf("Calls() = %d, want %d", got, n)
+	}
+}

@@ -1,0 +1,545 @@
+package hanccr
+
+// Resilience suite: overload protection and fault-injection hardening
+// for the plan service, driven through internal/faulty's deterministic
+// injector. The contract under test (README "Overload protection"):
+// saturated traffic is shed FAST with 429 + Retry-After while admitted
+// requests stay byte-identical to a serial unsharded reference;
+// server-side request budgets fire as 503 without caching the failure;
+// drain answers new work with a deterministic 503 + Connection: close
+// while in-flight requests finish. `make stress-smoke` runs this file
+// under -race.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faulty"
+)
+
+// faultyPlanner wraps the real planner in an injector: the scripted
+// fault runs first (latency, error, or hang), then NewPlan — so plans
+// that do come out are bit-identical to the healthy path's.
+func faultyPlanner(inj *faulty.Injector) func(ctx context.Context, sc Scenario) (*Plan, error) {
+	return func(ctx context.Context, sc Scenario) (*Plan, error) {
+		if err := inj.Inject(ctx); err != nil {
+			return nil, err
+		}
+		return NewPlan(ctx, sc)
+	}
+}
+
+// awaitTrue polls cond until it holds or the deadline passes.
+func awaitTrue(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("condition never held: %s", msg)
+}
+
+// TestResilienceSaturationShedsFastAdmitsByteIdentical is the
+// acceptance scenario: a burst of cold plans against a slow planner at
+// 5× the in-flight bound. Excess requests must be shed with
+// 429 + Retry-After in well under 50ms — they never queue — while
+// every admitted response is byte-identical to the serial unsharded
+// reference for its scenario.
+func TestResilienceSaturationShedsFastAdmitsByteIdentical(t *testing.T) {
+	inj := faulty.New()
+	inj.Every(faulty.Fault{Delay: 500 * time.Millisecond})
+	svc := NewService(WithMaxInFlight(2), WithShards(4), WithPlanner(faultyPlanner(inj)))
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	const burst = 10
+	bodies := make([]string, burst)
+	for i := range bodies {
+		bodies[i] = fmt.Sprintf(`{"family":"genome","tasks":40,"procs":3,"seed":%d}`, 100+i)
+	}
+
+	// Serial unsharded reference with the healthy planner.
+	refSrv := httptest.NewServer(NewHandler(NewService(WithShards(1))))
+	defer refSrv.Close()
+	refs := make([]string, burst)
+	for i, b := range bodies {
+		status, body, _ := postJSON(t, refSrv.Client(), refSrv.URL+"/v1/plan", b)
+		if status != http.StatusOK {
+			t.Fatalf("reference %d: %d %s", i, status, body)
+		}
+		refs[i] = body
+	}
+
+	type outcome struct {
+		status  int
+		body    string
+		retry   string
+		elapsed time.Duration
+	}
+	outs := make([]outcome, burst)
+	var wg sync.WaitGroup
+	for i := range bodies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start := time.Now()
+			resp, err := srv.Client().Post(srv.URL+"/v1/plan", "application/json", strings.NewReader(bodies[i]))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			blob, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Errorf("request %d read: %v", i, err)
+				return
+			}
+			outs[i] = outcome{resp.StatusCode, string(blob), resp.Header.Get("Retry-After"), time.Since(start)}
+		}(i)
+	}
+	wg.Wait()
+
+	admitted, shed := 0, 0
+	for i, o := range outs {
+		switch o.status {
+		case http.StatusOK:
+			admitted++
+			if o.body != refs[i] {
+				t.Errorf("admitted response %d differs from serial reference:\ngot:  %s\nwant: %s", i, o.body, refs[i])
+			}
+		case http.StatusTooManyRequests:
+			shed++
+			if o.retry != "1" {
+				t.Errorf("shed response %d: Retry-After = %q, want \"1\"", i, o.retry)
+			}
+			if !strings.Contains(o.body, "overloaded") {
+				t.Errorf("shed response %d body %q does not name the overload", i, o.body)
+			}
+			if o.elapsed > 50*time.Millisecond {
+				t.Errorf("shed response %d took %v, want < 50ms (shedding must not queue)", i, o.elapsed)
+			}
+		default:
+			t.Errorf("request %d: unexpected status %d (%s)", i, o.status, o.body)
+		}
+	}
+	if admitted < 2 {
+		t.Errorf("admitted = %d, want >= 2 (the gate has 2 slots)", admitted)
+	}
+	if shed < 1 {
+		t.Errorf("shed = %d, want >= 1 (burst is 5x the bound)", shed)
+	}
+	if st := svc.Stats(); st.Shed != uint64(shed) {
+		t.Errorf("Stats().Shed = %d, want %d observed 429s", st.Shed, shed)
+	}
+
+	// A shed scenario was never planned and never cached; retried against
+	// the now-idle gate it must plan cold and match the reference.
+	for i, o := range outs {
+		if o.status != http.StatusTooManyRequests {
+			continue
+		}
+		status, body, hdr := postJSON(t, srv.Client(), srv.URL+"/v1/plan", bodies[i])
+		if status != http.StatusOK || body != refs[i] {
+			t.Fatalf("retry of shed request %d: %d %s", i, status, body)
+		}
+		if got := hdr.Get("X-Cache"); got != "miss" {
+			t.Fatalf("retry of shed request %d: X-Cache = %q, want miss (a shed request must leave no entry)", i, got)
+		}
+		break
+	}
+}
+
+// TestResilienceRequestTimeout503NotCached wedges the first plan: the
+// server-side budget must fire as 503 (not 499 — the client is still
+// there), count in Stats.DeadlineExpired, and leave no cache entry, so
+// the retry plans cold and succeeds.
+func TestResilienceRequestTimeout503NotCached(t *testing.T) {
+	inj := faulty.New()
+	inj.OnCall(1, faulty.Fault{Hang: true})
+	svc := NewService(WithRequestTimeout(100*time.Millisecond), WithPlanner(faultyPlanner(inj)))
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+	body := `{"family":"montage","tasks":40,"procs":3,"seed":9}`
+
+	status, resp, _ := postJSON(t, srv.Client(), srv.URL+"/v1/plan", body)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("wedged plan: %d %s, want 503", status, resp)
+	}
+	st := svc.Stats()
+	if st.DeadlineExpired != 1 {
+		t.Fatalf("DeadlineExpired = %d, want 1", st.DeadlineExpired)
+	}
+	if st.Entries != 0 {
+		t.Fatalf("wedged plan left %d cache entries", st.Entries)
+	}
+
+	status, resp, hdr := postJSON(t, srv.Client(), srv.URL+"/v1/plan", body)
+	if status != http.StatusOK {
+		t.Fatalf("retry after deadline: %d %s", status, resp)
+	}
+	if got := hdr.Get("X-Cache"); got != "miss" {
+		t.Fatalf("retry X-Cache = %q, want miss (failures are never cached)", got)
+	}
+	if inj.Calls() != 2 {
+		t.Fatalf("planner saw %d calls, want 2 (hang, then healthy retry)", inj.Calls())
+	}
+}
+
+// TestResilienceEstimateAndSimulateShareTheGate pins that the gate
+// sees estimate/simulate work too: with every slot wedged, both
+// endpoints shed 429 instead of queueing behind the stuck planner.
+func TestResilienceEstimateAndSimulateShareTheGate(t *testing.T) {
+	inj := faulty.New()
+	inj.Every(faulty.Fault{Hang: true})
+	svc := NewService(WithMaxInFlight(1), WithPlanner(faultyPlanner(inj)))
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := svc.Plan(ctx, NewScenario(WithFamily("genome"), WithTasks(40), WithProcs(3)))
+		done <- err
+	}()
+	awaitTrue(t, 5*time.Second, func() bool { return svc.Stats().InFlight == 1 }, "wedged plan never occupied the gate")
+
+	for _, probe := range []struct{ path, body string }{
+		{"/v1/estimate", `{"family":"montage","tasks":40,"procs":3,"method":"Dodin"}`},
+		{"/v1/simulate", `{"family":"montage","tasks":40,"procs":3,"trials":100}`},
+		{"/v1/plan", `{"family":"montage","tasks":40,"procs":3}`},
+	} {
+		status, body, hdr := postJSON(t, srv.Client(), srv.URL+probe.path, probe.body)
+		if status != http.StatusTooManyRequests {
+			t.Fatalf("%s under saturation: %d %s, want 429", probe.path, status, body)
+		}
+		if hdr.Get("Retry-After") != "1" {
+			t.Fatalf("%s: missing Retry-After on 429", probe.path)
+		}
+	}
+
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("wedged plan returned %v, want context.Canceled", err)
+	}
+	awaitTrue(t, 5*time.Second, func() bool { return svc.Stats().InFlight == 0 }, "gate slot never released")
+}
+
+// TestResilienceBatchAndSweepCostShedding saturates the gate and
+// verifies the heavy endpoints are rejected up front: the dynamic cost
+// caps scale with headroom, so a daemon with zero free slots sheds any
+// batch or sweep before running a single job or cell.
+func TestResilienceBatchAndSweepCostShedding(t *testing.T) {
+	inj := faulty.New()
+	inj.Every(faulty.Fault{Hang: true})
+	svc := NewService(WithMaxInFlight(2), WithPlanner(faultyPlanner(inj)))
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _ = svc.Plan(ctx, NewScenario(WithFamily("genome"), WithTasks(40), WithProcs(3), WithSeed(int64(i))))
+		}(i)
+	}
+	awaitTrue(t, 5*time.Second, func() bool { return svc.Headroom() == 0 }, "gate never saturated")
+
+	status, body, hdr := postJSON(t, srv.Client(), srv.URL+"/v1/batch",
+		`{"jobs":[{"kind":"plan","family":"montage","tasks":40,"procs":3}]}`)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("batch at zero headroom: %d %s, want 429", status, body)
+	}
+	if hdr.Get("Retry-After") != "1" {
+		t.Fatal("batch shed without Retry-After")
+	}
+	status, body, _ = postJSON(t, srv.Client(), srv.URL+"/v1/sweep",
+		`{"family":"genome","sizes":[40],"procs":[3],"pfails":[0.001],"ccr_min":0.001,"ccr_max":0.001,"points_per_decade":5}`)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("sweep at zero headroom: %d %s, want 429", status, body)
+	}
+	if st := svc.Stats(); st.Shed < 2 {
+		t.Fatalf("Stats().Shed = %d, want >= 2 (batch + sweep)", st.Shed)
+	}
+
+	cancel()
+	wg.Wait()
+	awaitTrue(t, 5*time.Second, func() bool { return svc.Headroom() == 2 }, "slots never came back")
+
+	// With the gate idle again the same requests pass the full static
+	// caps and run.
+	inj.Every(faulty.Fault{})
+	status, body, _ = postJSON(t, srv.Client(), srv.URL+"/v1/batch",
+		`{"jobs":[{"kind":"plan","family":"montage","tasks":40,"procs":3}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("batch at full headroom: %d %s", status, body)
+	}
+}
+
+// TestResilienceDrainGate proves deterministic shutdown: with one slow
+// request in flight, Drain answers new work 503 + Retry-After +
+// Connection: close, the in-flight request still completes 200, and
+// Drain returns once it has.
+func TestResilienceDrainGate(t *testing.T) {
+	inj := faulty.New()
+	inj.Every(faulty.Fault{Delay: 400 * time.Millisecond})
+	svc := NewService(WithPlanner(faultyPlanner(inj)))
+	gate := new(DrainGate)
+	srv := httptest.NewServer(gate.Wrap(NewHandler(svc)))
+	defer srv.Close()
+
+	slow := make(chan outcome2, 1)
+	go func() {
+		status, body, _ := postJSONErr(srv.Client(), srv.URL+"/v1/plan", `{"family":"genome","tasks":40,"procs":3}`)
+		slow <- outcome2{status, body}
+	}()
+	awaitTrue(t, 5*time.Second, func() bool { return gate.active.Load() >= 1 }, "slow request never entered the gate")
+
+	drained := make(chan error, 1)
+	go func() { drained <- gate.Drain(context.Background()) }()
+	awaitTrue(t, 5*time.Second, gate.Draining, "drain flag never flipped")
+
+	// New work during the drain window: deterministic 503, told to close.
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("probe during drain: %v", err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("probe during drain: %d %s, want 503", resp.StatusCode, blob)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Fatal("drain 503 lacks Retry-After")
+	}
+	if !resp.Close && !strings.EqualFold(resp.Header.Get("Connection"), "close") {
+		t.Fatal("drain 503 did not ask the client to close the connection")
+	}
+	if !strings.Contains(string(blob), "draining") {
+		t.Fatalf("drain body %q does not say draining", blob)
+	}
+
+	// The admitted slow request finishes normally.
+	select {
+	case o := <-slow:
+		if o.status != http.StatusOK {
+			t.Fatalf("in-flight request during drain: %d %s, want 200", o.status, o.body)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("Drain returned %v after the last request finished", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drain never returned")
+	}
+}
+
+type outcome2 struct {
+	status int
+	body   string
+}
+
+// postJSONErr is postJSON without the testing.T plumbing, for use off
+// the test goroutine.
+func postJSONErr(client *http.Client, url, body string) (int, string, error) {
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, "", err
+	}
+	return resp.StatusCode, string(blob), nil
+}
+
+// TestResilienceDrainGateBudgetExpiry: a drain whose context expires
+// with work still in flight reports the context error instead of
+// hanging forever.
+func TestResilienceDrainGateBudgetExpiry(t *testing.T) {
+	inj := faulty.New()
+	inj.Every(faulty.Fault{Delay: time.Second})
+	svc := NewService(WithPlanner(faultyPlanner(inj)))
+	gate := new(DrainGate)
+	srv := httptest.NewServer(gate.Wrap(NewHandler(svc)))
+	defer srv.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, _ = postJSONErr(srv.Client(), srv.URL+"/v1/plan", `{"family":"ligo","tasks":40,"procs":3}`)
+	}()
+	awaitTrue(t, 5*time.Second, func() bool { return gate.active.Load() >= 1 }, "request never entered the gate")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := gate.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain with expired budget = %v, want DeadlineExceeded", err)
+	}
+	<-done
+}
+
+// TestHTTPStatsEndpoint covers the new GET /v1/stats: counters over
+// the wire, GET-only.
+func TestHTTPStatsEndpoint(t *testing.T) {
+	svc := NewService(WithMaxInFlight(7))
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	if status, body, _ := postJSON(t, srv.Client(), srv.URL+"/v1/plan",
+		`{"family":"genome","tasks":40,"procs":3}`); status != http.StatusOK {
+		t.Fatalf("plan: %d %s", status, body)
+	}
+	resp, err := srv.Client().Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d %s", resp.StatusCode, blob)
+	}
+	for _, field := range []string{`"hits"`, `"misses"`, `"in_flight"`, `"max_inflight":7`, `"shed":0`, `"deadline_expired":0`} {
+		if !strings.Contains(string(blob), field) {
+			t.Errorf("stats body %s lacks %s", blob, field)
+		}
+	}
+
+	post, err := srv.Client().Post(srv.URL+"/v1/stats", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed || post.Header.Get("Allow") != http.MethodGet {
+		t.Fatalf("POST /v1/stats: %d Allow=%q, want 405 with Allow: GET", post.StatusCode, post.Header.Get("Allow"))
+	}
+}
+
+// TestStressMixedTrafficUnderSaturation is the -race stress gate
+// (`make stress-smoke`): mixed plan/estimate/sweep-stream traffic at
+// 4× the in-flight bound through a slow planner, with a sprinkling of
+// client-side disconnects. Every completed response must be 200, 429
+// or 503 (the disconnects are the server's 499s — their clients see an
+// error, never a status), nothing may hang, and the goroutine count
+// must settle back to the baseline: no leaks.
+func TestStressMixedTrafficUnderSaturation(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	inj := faulty.New()
+	inj.Every(faulty.Fault{Delay: 2 * time.Millisecond})
+	const bound = 4
+	svc := NewService(
+		WithMaxInFlight(bound), WithShards(4), WithCacheCapacity(32),
+		WithRequestTimeout(5*time.Second), WithPlanner(faultyPlanner(inj)),
+	)
+	srv := httptest.NewServer(NewHandler(svc))
+
+	const goroutines = 4 * bound
+	const iters = 15
+	sweepBody := `{"family":"genome","sizes":[40],"procs":[3],"pfails":[0.001],"ccr_min":0.001,"ccr_max":0.01,"points_per_decade":5,"stream":true}`
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	statuses := map[int]int{}
+	disconnects := 0
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				var path, body string
+				switch (g + it) % 4 {
+				case 0:
+					path, body = "/v1/plan", fmt.Sprintf(`{"family":"genome","tasks":40,"procs":3,"seed":%d}`, it%5)
+				case 1:
+					path, body = "/v1/estimate", fmt.Sprintf(`{"family":"montage","tasks":40,"procs":3,"seed":%d,"method":"PathApprox"}`, it%5)
+				case 2:
+					path, body = "/v1/simulate", fmt.Sprintf(`{"family":"ligo","tasks":40,"procs":3,"seed":%d,"trials":50}`, it%5)
+				default:
+					path, body = "/v1/sweep", sweepBody
+				}
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if (g+it)%7 == 0 {
+					// A client that gives up almost immediately — the server
+					// records these as 499; the client sees an error.
+					ctx, cancel = context.WithTimeout(ctx, time.Millisecond)
+				}
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+path, strings.NewReader(body))
+				if err != nil {
+					cancel()
+					t.Errorf("build request: %v", err)
+					return
+				}
+				resp, err := srv.Client().Do(req)
+				if err != nil {
+					cancel()
+					if ctx.Err() != nil {
+						mu.Lock()
+						disconnects++
+						mu.Unlock()
+						continue
+					}
+					t.Errorf("%s: %v", path, err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				cancel()
+				mu.Lock()
+				statuses[resp.StatusCode]++
+				mu.Unlock()
+				switch resp.StatusCode {
+				case http.StatusOK, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				default:
+					t.Errorf("%s: status %d, want 200/429/503", path, resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	srv.Close()
+
+	if statuses[http.StatusOK] == 0 {
+		t.Error("no request was ever admitted")
+	}
+	if statuses[http.StatusTooManyRequests] == 0 {
+		t.Error("traffic at 4x the bound never produced a 429")
+	}
+	t.Logf("statuses: %v, client disconnects: %d, stats: %+v", statuses, disconnects, svc.Stats())
+
+	// Goroutine settle: everything the burst spawned (handlers, trial
+	// pools, keep-alive conns) must wind down — the bounded gate means
+	// nothing is left parked on a queue.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+		runtime.GC()
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines: before=%d after=%d — leak\n%s", before, runtime.NumGoroutine(), buf[:n])
+}

@@ -78,7 +78,11 @@ func (s *Service) WarmFromLog(ctx context.Context, r io.Reader, workers int) (wa
 		go func() {
 			defer wg.Done()
 			for sc := range ch {
-				if _, perr := s.Plan(ctx, sc); perr != nil {
+				// Replay bypasses the admission gate and request budget: it
+				// runs before (or beside) live traffic, is already bounded by
+				// this worker pool, and a gate sized for request bursts must
+				// not shed the very scenarios meant to warm the cache.
+				if perr := warmOne(ctx, s, sc); perr != nil {
 					if ctx.Err() != nil {
 						abortOnce.Do(func() { abortErr = perr })
 						return
@@ -135,4 +139,14 @@ scanLoop:
 	default:
 		return warmed, failed, ctx.Err()
 	}
+}
+
+// warmOne plans one replayed scenario straight through the shard cache
+// (no admission gate, no request budget — see the worker loop above).
+func warmOne(ctx context.Context, s *Service, sc Scenario) error {
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	_, _, err := s.planForKey(ctx, sc, sc.Key())
+	return err
 }

@@ -4,8 +4,11 @@ import (
 	"container/list"
 	"context"
 	"errors"
+	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefaultCacheCapacity bounds a Service's plan cache when no explicit
@@ -17,6 +20,15 @@ const DefaultCacheCapacity = 256
 // contention under concurrent traffic: a request only ever takes its
 // own shard's lock.
 const DefaultShards = 8
+
+// DefaultInFlightPerCore sets the default admission bound to
+// DefaultInFlightPerCore × GOMAXPROCS concurrently executing requests
+// (WithMaxInFlight overrides it). Every admitted request is CPU-bound
+// work, so the useful concurrency is a small multiple of the cores;
+// the factor leaves slack for coalesced waiters parked on a shared
+// cold plan without letting a traffic burst pile goroutines without
+// bound.
+const DefaultInFlightPerCore = 16
 
 // Service is a long-lived, goroutine-safe planner: Plan requests are
 // answered from a bounded LRU of solved scenarios keyed by the
@@ -33,8 +45,34 @@ const DefaultShards = 8
 // Failed plans are not cached. Eviction is per shard (least recently
 // used within the shard), so the configured capacity is an upper bound
 // distributed across shards, not a single global recency order.
+//
+// Admission is bounded: at most WithMaxInFlight requests execute at
+// once (planning, waiting on a coalesced cold plan, estimating or
+// simulating all count); a request arriving with every slot occupied
+// is shed immediately with ErrOverloaded — the gate never queues. An
+// optional WithRequestTimeout wraps every admitted request in a
+// server-side context deadline so one pathological scenario cannot
+// hold an admission slot (or a shard's singleflight) forever; waiters
+// whose own context is still live already retry when a flight dies of
+// its initiator's cancellation, so the two compose.
 type Service struct {
 	shards []*shard
+
+	// maxInFlight is the admission bound; inflight the gauge of
+	// currently admitted requests. shed counts gate rejections
+	// (ErrOverloaded, cost-shed batches/sweeps included); expired
+	// counts server-side request budgets that fired.
+	maxInFlight int64
+	inflight    atomic.Int64
+	shed        atomic.Uint64
+	expired     atomic.Uint64
+
+	// timeout is the per-request server-side budget (0 = none).
+	timeout time.Duration
+
+	// planner computes a cold plan (NewPlan unless WithPlanner
+	// injected a test/fault-injection seam).
+	planner func(ctx context.Context, sc Scenario) (*Plan, error)
 }
 
 // shard is one lock domain of the plan LRU.
@@ -62,8 +100,11 @@ type cacheEntry struct {
 type ServiceOption func(*serviceConfig)
 
 type serviceConfig struct {
-	capacity int
-	shards   int
+	capacity    int
+	shards      int
+	maxInFlight int
+	timeout     time.Duration
+	planner     func(ctx context.Context, sc Scenario) (*Plan, error)
 }
 
 // WithCacheCapacity bounds the plan LRU (minimum 1; default
@@ -88,9 +129,51 @@ func WithShards(n int) ServiceOption {
 	}
 }
 
+// WithMaxInFlight bounds how many requests the Service executes at
+// once (minimum 1; default DefaultInFlightPerCore × GOMAXPROCS).
+// Excess requests are shed immediately with ErrOverloaded instead of
+// queueing.
+func WithMaxInFlight(n int) ServiceOption {
+	return func(c *serviceConfig) {
+		if n > 0 {
+			c.maxInFlight = n
+		}
+	}
+}
+
+// WithRequestTimeout wraps every admitted request — plan, estimate,
+// simulate, compare, each batch job — in a server-side context
+// deadline (0 = none, the default). A deadline that fires surfaces as
+// context.DeadlineExceeded (HTTP 503) and is counted in
+// Stats.DeadlineExpired; the failed plan is never cached.
+func WithRequestTimeout(d time.Duration) ServiceOption {
+	return func(c *serviceConfig) {
+		if d > 0 {
+			c.timeout = d
+		}
+	}
+}
+
+// WithPlanner replaces the cold-plan function (default NewPlan). It
+// exists as a seam for fault injection and resilience testing — a
+// wrapper can add latency, fail, or hang until cancellation — and must
+// be deterministic for the cache's hit-equals-miss contract to hold.
+func WithPlanner(fn func(ctx context.Context, sc Scenario) (*Plan, error)) ServiceOption {
+	return func(c *serviceConfig) {
+		if fn != nil {
+			c.planner = fn
+		}
+	}
+}
+
 // NewService returns a ready-to-use planner.
 func NewService(opts ...ServiceOption) *Service {
-	cfg := serviceConfig{capacity: DefaultCacheCapacity, shards: DefaultShards}
+	cfg := serviceConfig{
+		capacity:    DefaultCacheCapacity,
+		shards:      DefaultShards,
+		maxInFlight: DefaultInFlightPerCore * runtime.GOMAXPROCS(0),
+		planner:     NewPlan,
+	}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -98,7 +181,12 @@ func NewService(opts ...ServiceOption) *Service {
 	if perShard < 1 {
 		perShard = 1
 	}
-	s := &Service{shards: make([]*shard, cfg.shards)}
+	s := &Service{
+		shards:      make([]*shard, cfg.shards),
+		maxInFlight: int64(cfg.maxInFlight),
+		timeout:     cfg.timeout,
+		planner:     cfg.planner,
+	}
 	for i := range s.shards {
 		s.shards[i] = &shard{
 			cap:     perShard,
@@ -107,6 +195,77 @@ func NewService(opts ...ServiceOption) *Service {
 		}
 	}
 	return s
+}
+
+// acquire claims one admission slot, or sheds the request with
+// ErrOverloaded when the gate is full. It never blocks: shedding in
+// microseconds is the point — a client's retry lands after the burst,
+// where queueing here would pile goroutines until the process
+// thrashes.
+func (s *Service) acquire() error {
+	if s.inflight.Add(1) > s.maxInFlight {
+		s.inflight.Add(-1)
+		s.shed.Add(1)
+		return fmt.Errorf("%w: %d requests in flight", ErrOverloaded, s.maxInFlight)
+	}
+	return nil
+}
+
+// release returns an admission slot.
+func (s *Service) release() { s.inflight.Add(-1) }
+
+// Headroom reports how many admission slots are currently free — the
+// load-shedding signal the HTTP layer scales its batch/sweep cost caps
+// by.
+func (s *Service) Headroom() int {
+	free := s.maxInFlight - s.inflight.Load()
+	if free < 0 {
+		free = 0
+	}
+	return int(free)
+}
+
+// shedCap scales a static request cap by the free fraction of the
+// admission gate: an idle service accepts up to the full static cap, a
+// half-busy one accepts half, a saturated one sheds heavy requests
+// entirely. Integer arithmetic keeps the result deterministic.
+func (s *Service) shedCap(static int) int {
+	return int(int64(static) * int64(s.Headroom()) / s.maxInFlight)
+}
+
+// budget derives the server-side request deadline, when one is
+// configured.
+func (s *Service) budget(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.timeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, s.timeout)
+}
+
+// noteDeadline accounts a request whose server-side budget fired: the
+// operation died of DeadlineExceeded while the caller's own context
+// was still live (a client that brought its own expired deadline is
+// not the server's doing).
+func (s *Service) noteDeadline(parent context.Context, err error) {
+	if s.timeout > 0 && errors.Is(err, context.DeadlineExceeded) && parent.Err() == nil {
+		s.expired.Add(1)
+	}
+}
+
+// do runs one admitted request: claim an admission slot (or shed),
+// apply the server-side budget, account a fired deadline. Every public
+// entry point funnels through it, so the in-flight gauge and the gate
+// see all the work, not just cold planning.
+func (s *Service) do(ctx context.Context, op func(ctx context.Context) error) error {
+	if err := s.acquire(); err != nil {
+		return err
+	}
+	defer s.release()
+	bctx, cancel := s.budget(ctx)
+	defer cancel()
+	err := op(bctx)
+	s.noteDeadline(ctx, err)
+	return err
 }
 
 // shardFor maps a canonical scenario key onto its shard (FNV-1a over
@@ -124,20 +283,37 @@ func (s *Service) shardFor(key string) *shard {
 	return s.shards[h%uint32(len(s.shards))]
 }
 
-// Stats is a point-in-time snapshot of the cache, aggregated across
-// shards.
+// Stats is a point-in-time snapshot of the cache and admission gate,
+// aggregated across shards.
 type Stats struct {
 	Hits     uint64 `json:"hits"`
 	Misses   uint64 `json:"misses"`
 	Entries  int    `json:"entries"`
 	Capacity int    `json:"capacity"`
 	Shards   int    `json:"shards"`
+	// InFlight is the admission gauge: requests currently executing
+	// (MaxInFlight bounds it). Shed counts requests rejected with
+	// ErrOverloaded — the HTTP layer's 429s — and DeadlineExpired the
+	// server-side request budgets that fired (503s).
+	InFlight        int    `json:"in_flight"`
+	MaxInFlight     int    `json:"max_inflight"`
+	Shed            uint64 `json:"shed"`
+	DeadlineExpired uint64 `json:"deadline_expired"`
 }
 
 // Stats returns the cache counters summed over every shard (Capacity
-// is the total across shards; each shard holds Capacity/Shards plans).
+// is the total across shards; each shard holds Capacity/Shards plans)
+// plus the admission gate's gauge and shed/deadline counters.
 func (s *Service) Stats() Stats {
-	st := Stats{Shards: len(s.shards)}
+	st := Stats{
+		Shards:          len(s.shards),
+		MaxInFlight:     int(s.maxInFlight),
+		Shed:            s.shed.Load(),
+		DeadlineExpired: s.expired.Load(),
+	}
+	if in := s.inflight.Load(); in > 0 {
+		st.InFlight = int(in)
+	}
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		st.Hits += sh.hits
@@ -166,7 +342,52 @@ func (s *Service) PlanCached(ctx context.Context, sc Scenario) (*Plan, bool, err
 	if err := sc.Validate(); err != nil {
 		return nil, false, err
 	}
-	return s.planForKey(ctx, sc, sc.Key())
+	return s.planGated(ctx, sc, sc.Key())
+}
+
+// planGated is planForKey behind the admission gate and request
+// budget — the entry every external caller (public methods, HTTP
+// handlers, batch jobs) shares. Boot-time warm-up replay is the one
+// deliberate exception: it bounds itself by its worker pool and must
+// not compete with the gate it is trying to fill.
+func (s *Service) planGated(ctx context.Context, sc Scenario, key string) (p *Plan, hit bool, err error) {
+	err = s.do(ctx, func(ctx context.Context) error {
+		var perr error
+		p, hit, perr = s.planForKey(ctx, sc, key)
+		return perr
+	})
+	return p, hit, err
+}
+
+// estimateForKey plans (through the cache) and estimates under one
+// admission slot and one request budget, so a slow estimator cannot
+// outlive the gate's accounting of it.
+func (s *Service) estimateForKey(ctx context.Context, sc Scenario, key string, m Method, opts ...EstimateOption) (p *Plan, em float64, hit bool, err error) {
+	err = s.do(ctx, func(ctx context.Context) error {
+		var perr error
+		p, hit, perr = s.planForKey(ctx, sc, key)
+		if perr != nil {
+			return perr
+		}
+		em, perr = p.Estimate(ctx, m, opts...)
+		return perr
+	})
+	return p, em, hit, err
+}
+
+// simulateForKey plans (through the cache) and simulates under one
+// admission slot and one request budget.
+func (s *Service) simulateForKey(ctx context.Context, sc Scenario, key string, opts ...SimOption) (p *Plan, res SimResult, hit bool, err error) {
+	err = s.do(ctx, func(ctx context.Context) error {
+		var perr error
+		p, hit, perr = s.planForKey(ctx, sc, key)
+		if perr != nil {
+			return perr
+		}
+		res, perr = p.Simulate(ctx, opts...)
+		return perr
+	})
+	return p, res, hit, err
 }
 
 // planForKey is PlanCached after validation, with the canonical hash
@@ -191,7 +412,7 @@ func (s *Service) planForKey(ctx context.Context, sc Scenario, key string) (*Pla
 		sh.mu.Unlock()
 
 		e.once.Do(func() {
-			e.plan, e.err = NewPlan(ctx, sc)
+			e.plan, e.err = s.planner(ctx, sc)
 			e.done.Store(true)
 		})
 		if e.err == nil {
@@ -228,23 +449,24 @@ func (sh *shard) evictLocked() {
 }
 
 // Estimate plans sc through the cache and evaluates it with the given
-// method.
+// method, under one admission slot and one request budget.
 func (s *Service) Estimate(ctx context.Context, sc Scenario, m Method, opts ...EstimateOption) (float64, error) {
-	p, err := s.Plan(ctx, sc)
-	if err != nil {
+	if err := sc.Validate(); err != nil {
 		return 0, err
 	}
-	return p.Estimate(ctx, m, opts...)
+	_, em, _, err := s.estimateForKey(ctx, sc, sc.Key(), m, opts...)
+	return em, err
 }
 
 // Simulate plans sc through the cache and runs the discrete-event
-// simulator on the plan.
+// simulator on the plan, under one admission slot and one request
+// budget.
 func (s *Service) Simulate(ctx context.Context, sc Scenario, opts ...SimOption) (SimResult, error) {
-	p, err := s.Plan(ctx, sc)
-	if err != nil {
+	if err := sc.Validate(); err != nil {
 		return SimResult{}, err
 	}
-	return p.Simulate(ctx, opts...)
+	_, res, _, err := s.simulateForKey(ctx, sc, sc.Key(), opts...)
+	return res, err
 }
 
 // Compare plans and evaluates the three paper strategies for sc. When
@@ -267,7 +489,12 @@ func (s *Service) Compare(ctx context.Context, sc Scenario) (*Comparison, error)
 	if plans, ok := s.lookupAll(keys); ok {
 		return &Comparison{Some: plans[0], All: plans[1], None: plans[2]}, nil
 	}
-	cmp, err := Compare(ctx, sc)
+	var cmp *Comparison
+	err := s.do(ctx, func(ctx context.Context) error {
+		var cerr error
+		cmp, cerr = Compare(ctx, sc)
+		return cerr
+	})
 	if err != nil {
 		return nil, err
 	}
