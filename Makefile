@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench-smoke bench bench-scaling golden-update fuzz-smoke serve-smoke stress-smoke
+.PHONY: check vet build test race bench-smoke bench bench-scaling golden-update fuzz-smoke serve-smoke stress-smoke replica-smoke
 
 check: vet build race bench-smoke
 
@@ -138,3 +138,76 @@ fuzz-smoke:
 			$(GO) test -run '^$$' -fuzz "^$$fz$$" -fuzztime $(FUZZTIME) $$pkg; \
 		done; \
 	done
+
+# Boot a 3-replica fleet behind cmd/hanccr-lb, drive mixed scenario
+# traffic through the router and assert: responses byte-identical to a
+# single serial reference server, aggregate fleet misses == distinct
+# scenarios (key affinity dedupes repeats cluster-wide), a -tail
+# follower warms itself from a replica's GET /v1/log, and killing a
+# replica routes around it without wrong answers. Ports 19090-19095
+# (serve-smoke owns 1808x).
+replica-smoke:
+	$(GO) build -o /tmp/hanccr-serve ./cmd/serve
+	$(GO) build -o /tmp/hanccr-lb ./cmd/hanccr-lb
+	@set -e; \
+	rm -f /tmp/hanccr-r1.jsonl /tmp/hanccr-r2.jsonl /tmp/hanccr-r3.jsonl; \
+	/tmp/hanccr-serve -addr 127.0.0.1:19091 -log-scenarios /tmp/hanccr-r1.jsonl & p1=$$!; \
+	/tmp/hanccr-serve -addr 127.0.0.1:19092 -log-scenarios /tmp/hanccr-r2.jsonl & p2=$$!; \
+	/tmp/hanccr-serve -addr 127.0.0.1:19093 -log-scenarios /tmp/hanccr-r3.jsonl & p3=$$!; \
+	/tmp/hanccr-serve -addr 127.0.0.1:19094 & pref=$$!; \
+	/tmp/hanccr-lb -addr 127.0.0.1:19090 \
+		-backends http://127.0.0.1:19091,http://127.0.0.1:19092,http://127.0.0.1:19093 & plb=$$!; \
+	trap "kill $$p1 $$p2 $$p3 $$pref $$plb 2>/dev/null || true" EXIT; \
+	for port in 19091 19092 19093 19094 19090; do \
+		ok=0; \
+		for i in $$(seq 1 50); do \
+			if curl -fsS http://127.0.0.1:$$port/healthz >/dev/null 2>&1; then ok=1; break; fi; \
+			sleep 0.1; \
+		done; \
+		[ $$ok -eq 1 ] || { echo "replica-smoke: port $$port never came up"; exit 1; }; \
+	done; \
+	: > /tmp/hanccr-lb-out.txt; : > /tmp/hanccr-ref-out.txt; \
+	for pass in 1 2 3; do \
+		for seed in 1 2 3 4 5 6; do \
+			body="{\"family\":\"genome\",\"tasks\":50,\"procs\":5,\"seed\":$$seed}"; \
+			curl -fsS -X POST -d "$$body" http://127.0.0.1:19090/v1/plan >> /tmp/hanccr-lb-out.txt; \
+			curl -fsS -X POST -d "$$body" http://127.0.0.1:19094/v1/plan >> /tmp/hanccr-ref-out.txt; \
+			echo >> /tmp/hanccr-lb-out.txt; echo >> /tmp/hanccr-ref-out.txt; \
+		done; \
+		body='{"family":"montage","tasks":50,"procs":5,"seed":7,"method":"Dodin"}'; \
+		curl -fsS -X POST -d "$$body" http://127.0.0.1:19090/v1/estimate >> /tmp/hanccr-lb-out.txt; \
+		curl -fsS -X POST -d "$$body" http://127.0.0.1:19094/v1/estimate >> /tmp/hanccr-ref-out.txt; \
+		echo >> /tmp/hanccr-lb-out.txt; echo >> /tmp/hanccr-ref-out.txt; \
+	done; \
+	diff /tmp/hanccr-lb-out.txt /tmp/hanccr-ref-out.txt \
+		|| { echo "replica-smoke: routed responses differ from the serial reference"; exit 1; }; \
+	misses=0; \
+	for port in 19091 19092 19093; do \
+		m=$$(curl -fsS http://127.0.0.1:$$port/v1/stats | sed -n 's/.*"misses":\([0-9]*\).*/\1/p'); \
+		misses=$$((misses + m)); \
+	done; \
+	[ "$$misses" -eq 7 ] || { echo "replica-smoke: fleet planned $$misses scenarios, want 7 (6 plans + 1 estimate, each exactly once)"; exit 1; }; \
+	/tmp/hanccr-serve -addr 127.0.0.1:19095 \
+		-tail http://127.0.0.1:19091,http://127.0.0.1:19092,http://127.0.0.1:19093 & ptail=$$!; \
+	trap "kill $$p1 $$p2 $$p3 $$pref $$plb $$ptail 2>/dev/null || true" EXIT; \
+	warmed=0; got=none; \
+	for i in $$(seq 1 100); do \
+		got=$$(curl -fsS http://127.0.0.1:19095/v1/stats 2>/dev/null | sed -n 's/.*"entries":\([0-9]*\).*/\1/p'); \
+		if [ "$$got" = "7" ]; then warmed=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	[ $$warmed -eq 1 ] || { echo "replica-smoke: -tail follower absorbed $$got of the fleet's 7 distinct scenarios"; exit 1; }; \
+	echo "replica-smoke: byte-identity + dedupe + tail OK, killing replica 1"; \
+	kill -TERM $$p1; wait $$p1 || true; \
+	: > /tmp/hanccr-lb-out2.txt; : > /tmp/hanccr-ref-out2.txt; \
+	for seed in 1 2 3 4 5 6; do \
+		body="{\"family\":\"genome\",\"tasks\":50,\"procs\":5,\"seed\":$$seed}"; \
+		curl -fsS -X POST -d "$$body" http://127.0.0.1:19090/v1/plan >> /tmp/hanccr-lb-out2.txt; \
+		curl -fsS -X POST -d "$$body" http://127.0.0.1:19094/v1/plan >> /tmp/hanccr-ref-out2.txt; \
+		echo >> /tmp/hanccr-lb-out2.txt; echo >> /tmp/hanccr-ref-out2.txt; \
+	done; \
+	diff /tmp/hanccr-lb-out2.txt /tmp/hanccr-ref-out2.txt \
+		|| { echo "replica-smoke: post-kill responses differ from the serial reference"; exit 1; }; \
+	curl -fsS http://127.0.0.1:19090/healthz | grep -q '"status":"ok"' \
+		|| { echo "replica-smoke: router healthz broken after replica kill"; exit 1; }; \
+	echo "replica-smoke: OK"

@@ -13,11 +13,16 @@
 //	POST /v1/sweep     {"family":"montage","sizes":[300]}
 //	GET  /healthz
 //	GET  /v1/stats
+//	GET  /v1/log       (NDJSON miss-log stream; ?offset=N&follow=1)
 //
 // Scenario fields omitted from a request take the same defaults as the
 // CLI flag block. -warm replays a JSONL scenario log through the cache
 // before listening; -log-scenarios records live traffic in the same
 // format, so a restart warms from what the previous process served.
+// -tail follows one or more miss-log sources continuously — JSONL file
+// paths or peer replica URLs (their GET /v1/log) — so a fleet of
+// replicas behind cmd/hanccr-lb shares planning work without a shared
+// disk.
 // A sweep request with "stream":true (or Accept: application/x-ndjson)
 // is answered as NDJSON, one row per line flushed as it is computed;
 // streamed grids may hold up to -stream-cells cells (default 1M)
@@ -43,6 +48,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -78,15 +84,15 @@ func main() {
 		hanccr.WithLogf(log.Printf),
 		hanccr.WithStreamSweepCellCap(sf.StreamCells),
 	}
-	var logFile *os.File
+	var slog *hanccr.ScenarioLog
 	if sf.LogScenarios != "" {
-		f, err := os.OpenFile(sf.LogScenarios, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		l, err := hanccr.OpenScenarioLog(sf.LogScenarios)
 		if err != nil {
 			fatal(err)
 		}
-		logFile = f
-		handlerOpts = append(handlerOpts, hanccr.WithScenarioLog(hanccr.NewScenarioLog(f)))
-		log.Printf("serve: recording scenario traffic to %s", sf.LogScenarios)
+		slog = l
+		handlerOpts = append(handlerOpts, hanccr.WithScenarioLog(l))
+		log.Printf("serve: recording scenario traffic to %s (peers can tail it via GET /v1/log)", sf.LogScenarios)
 	}
 
 	gate := new(hanccr.DrainGate)
@@ -106,6 +112,24 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// -tail: continuously absorb peer miss-logs (files or replica URLs)
+	// into this replica's cache beside live traffic. Each source gets
+	// its own follower; all stop when the shutdown signal cancels ctx.
+	var tails sync.WaitGroup
+	for _, src := range sf.TailSources() {
+		tails.Add(1)
+		go func(src string) {
+			defer tails.Done()
+			log.Printf("serve: tailing %s", src)
+			absorbed, failed, err := svc.Follow(ctx, src, sf.WarmWorkers)
+			if err != nil && !errors.Is(err, context.Canceled) {
+				log.Printf("serve: tail %s: %v (%d absorbed, %d failed)", src, err, absorbed, failed)
+				return
+			}
+			log.Printf("serve: tail %s done (%d absorbed, %d failed)", src, absorbed, failed)
+		}(src)
+	}
 
 	errc := make(chan error, 1)
 	go func() {
@@ -141,10 +165,10 @@ func main() {
 			fatal(err)
 		}
 	}
-	if logFile != nil {
-		if err := logFile.Close(); err != nil {
-			fatal(fmt.Errorf("close %s: %w", sf.LogScenarios, err))
-		}
+	stop() // cancel the tail followers' context even on the errc path
+	tails.Wait()
+	if err := slog.Close(); err != nil {
+		fatal(fmt.Errorf("close %s: %w", sf.LogScenarios, err))
 	}
 	st := svc.Stats()
 	log.Printf("serve: bye (%d cached plans, %d hits / %d misses)", st.Entries, st.Hits, st.Misses)

@@ -3,6 +3,7 @@ package hanccr
 import (
 	"flag"
 	"fmt"
+	"strings"
 	"time"
 )
 
@@ -117,6 +118,7 @@ type ServeFlags struct {
 	StreamCells    int
 	MaxInFlight    int
 	RequestTimeout time.Duration
+	Tail           string
 }
 
 // BindServeFlags registers the daemon flags on fs and returns the
@@ -139,7 +141,60 @@ func BindServeFlags(fs *flag.FlagSet) *ServeFlags {
 	fs.IntVar(&f.StreamCells, "stream-cells", f.StreamCells, "cell ceiling for STREAMED /v1/sweep grids (buffered sweeps keep the fixed in-memory cap)")
 	fs.IntVar(&f.MaxInFlight, "max-inflight", 0, "admission bound: concurrently executing requests before the daemon sheds with 429 (0 = 16 x GOMAXPROCS)")
 	fs.DurationVar(&f.RequestTimeout, "request-timeout", 0, "server-side budget per admitted request; an expired budget answers 503 (0 = none)")
+	fs.StringVar(&f.Tail, "tail", "", "comma-separated miss-log sources to follow continuously: JSONL file paths or peer replica URLs (their GET /v1/log)")
 	return f
+}
+
+// TailSources splits the -tail flag into its individual sources.
+func (f *ServeFlags) TailSources() []string {
+	var out []string
+	for _, s := range strings.Split(f.Tail, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// LBFlags is cmd/hanccr-lb's flag block: listen address, the backend
+// replica list and the failover knobs, defined beside the serve flags
+// so router deployments cannot drift from the documented defaults.
+type LBFlags struct {
+	Addr     string
+	Backends string
+	VNodes   int
+	Cooldown time.Duration
+	Drain    time.Duration
+}
+
+// BindLBFlags registers the router flags on fs and returns the struct
+// they parse into.
+func BindLBFlags(fs *flag.FlagSet) *LBFlags {
+	f := &LBFlags{
+		Addr:     ":8090",
+		VNodes:   DefaultRouterVNodes,
+		Cooldown: DefaultRouterCooldown,
+		Drain:    10 * time.Second,
+	}
+	fs.StringVar(&f.Addr, "addr", f.Addr, "listen address")
+	fs.StringVar(&f.Backends, "backends", f.Backends, "comma-separated replica base URLs (e.g. http://10.0.0.2:8080,http://10.0.0.3:8080)")
+	fs.IntVar(&f.VNodes, "vnodes", f.VNodes, "virtual ring points per backend (more = smoother key spread)")
+	fs.DurationVar(&f.Cooldown, "cooldown", f.Cooldown, "how long a failed backend sits out before being probed again (Retry-After overrides, capped)")
+	fs.DurationVar(&f.Drain, "drain", f.Drain, "graceful shutdown timeout")
+	return f
+}
+
+// Router builds the consistent-hash router the parsed flags describe.
+func (f *LBFlags) Router(opts ...RouterOption) (*Router, error) {
+	var backends []string
+	for _, b := range strings.Split(f.Backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			backends = append(backends, b)
+		}
+	}
+	return NewRouter(backends, append([]RouterOption{
+		WithRouterVNodes(f.VNodes), WithRouterCooldown(f.Cooldown),
+	}, opts...)...)
 }
 
 // Service builds the planner the parsed daemon flags describe.

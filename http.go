@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -294,6 +295,8 @@ func WithStreamSweepCellCap(n int) HandlerOption {
 //	POST /v1/batch     — heterogeneous plan/estimate/simulate jobs, fanned over a worker pool
 //	POST /v1/sweep     — a §VI-style (family, size, pfail, CCR) grid of strategy comparisons
 //	GET  /healthz      — liveness plus cache statistics
+//	GET  /v1/stats     — cache / admission-gate counters
+//	GET  /v1/log       — the replica's miss-log as NDJSON (?offset=N&follow=1), for peer tailing
 //
 // Responses are deterministic functions of the request, so a cache hit
 // is byte-identical to the cold miss that filled it; the X-Cache
@@ -310,15 +313,24 @@ func NewHandler(svc *Service, opts ...HandlerOption) http.Handler {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// GET-only, like /v1/stats: a liveness probe that mutates nothing
+		// must not accept mutating verbs (it used to answer POST/DELETE).
+		if !cfg.requireGet(w, r) {
+			return
+		}
 		cfg.writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Cache: svc.Stats()})
 	})
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			w.Header().Set("Allow", http.MethodGet)
-			cfg.writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "use GET"})
+		if !cfg.requireGet(w, r) {
 			return
 		}
 		cfg.writeJSON(w, http.StatusOK, svc.Stats())
+	})
+	mux.HandleFunc("/v1/log", func(w http.ResponseWriter, r *http.Request) {
+		if !cfg.requireGet(w, r) {
+			return
+		}
+		cfg.streamLog(w, r)
 	})
 	mux.HandleFunc("/v1/plan", func(w http.ResponseWriter, r *http.Request) {
 		var req ScenarioRequest
@@ -555,6 +567,68 @@ func (c *handlerConfig) streamSweep(w http.ResponseWriter, r *http.Request, ctx 
 	return err
 }
 
+// requireGet enforces the read-only endpoints' method contract: 405
+// with an Allow header for anything but GET.
+func (c *handlerConfig) requireGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		c.writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "use GET"})
+		return false
+	}
+	return true
+}
+
+// streamLog answers GET /v1/log: the replica's miss-log streamed as
+// NDJSON so a peer can absorb it without a shared disk. Query knobs:
+// offset=N resumes at a byte offset (a consumer that counts
+// len(line)+1 per received line holds exactly the next offset), and
+// follow=1 keeps the stream open, relaying new records as they are
+// written, until the client disconnects. Lines are relayed verbatim —
+// blank recovery lines and salvaged fragments included — so offsets
+// stay aligned with the file; consumers skip what does not parse (the
+// tailer contract, see TailLog).
+func (c *handlerConfig) streamLog(w http.ResponseWriter, r *http.Request) {
+	if c.slog.Path() == "" {
+		c.writeJSON(w, http.StatusNotFound, map[string]string{
+			"error": "scenario logging is not enabled on this replica (-log-scenarios)",
+		})
+		return
+	}
+	var offset int64
+	if raw := r.URL.Query().Get("offset"); raw != "" {
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || n < 0 {
+			c.writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": fmt.Sprintf("bad offset %q: want a non-negative integer", raw),
+			})
+			return
+		}
+		offset = n
+	}
+	follow := false
+	switch r.URL.Query().Get("follow") {
+	case "", "0", "false":
+	default:
+		follow = true
+	}
+	w.Header().Set("Content-Type", ndjsonContentType)
+	w.WriteHeader(http.StatusOK)
+	out := newLineWriter(w)
+	tcfg := tailConfig{offset: offset, interval: DefaultTailInterval, follow: follow}
+	err := tailLines(r.Context(), c.slog.Path(), tcfg, func(line []byte) error {
+		return out.writeRawLine(line)
+	})
+	switch {
+	case err == nil:
+	case r.Context().Err() != nil:
+		// A follow stream ends exactly this way: the tailing peer hung up
+		// (or was redeployed). Same 499-style accounting as a sweep stream.
+		c.logf("http: %s %s: client disconnected mid-stream: %v", r.Method, r.URL.Path, err)
+	default:
+		c.logf("http: log stream aborted: %v", err)
+	}
+}
+
 // record appends one scenario line to the configured log, if any.
 // Cache hits are skipped: logging only the misses keeps the file near
 // the distinct-scenario count instead of growing with total traffic —
@@ -564,9 +638,12 @@ func (c *handlerConfig) record(req ScenarioRequest, hit bool) {
 	if hit {
 		return
 	}
-	// A log write failure must not fail the planning request it rode on;
-	// the daemon surfaces file errors when it closes the log.
-	_ = c.slog.Record(req)
+	// A log write failure must not fail the planning request it rode on,
+	// but it must not vanish either: a full disk that silently stops the
+	// log also stops every peer warming from it (-warm, -tail, /v1/log).
+	if err := c.slog.Record(req); err != nil {
+		c.logf("http: scenario log: record: %v", err)
+	}
 }
 
 // batchTrials sums the simulation / Monte Carlo trial demand of a
@@ -907,12 +984,13 @@ func (c *handlerConfig) writeJSON(w http.ResponseWriter, status int, v any) {
 // the client immediately when the ResponseWriter supports it — the
 // per-row delivery a streamed sweep needs.
 type lineWriter struct {
+	w     io.Writer
 	enc   *json.Encoder
 	flush http.Flusher
 }
 
 func newLineWriter(w io.Writer) *lineWriter {
-	lw := &lineWriter{enc: json.NewEncoder(w)}
+	lw := &lineWriter{w: w, enc: json.NewEncoder(w)}
 	if f, ok := w.(http.Flusher); ok {
 		lw.flush = f
 	}
@@ -921,6 +999,23 @@ func newLineWriter(w io.Writer) *lineWriter {
 
 func (lw *lineWriter) writeLine(v any) error {
 	if err := lw.enc.Encode(v); err != nil {
+		return err
+	}
+	if lw.flush != nil {
+		lw.flush.Flush()
+	}
+	return nil
+}
+
+// writeRawLine emits one already-encoded line (newline appended) with
+// the same flush-per-line delivery as writeLine — the path GET /v1/log
+// uses to relay scenario-log bytes verbatim, keeping client byte
+// offsets aligned with the file's.
+func (lw *lineWriter) writeRawLine(line []byte) error {
+	if _, err := lw.w.Write(line); err != nil {
+		return err
+	}
+	if _, err := lw.w.Write([]byte{'\n'}); err != nil {
 		return err
 	}
 	if lw.flush != nil {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -198,5 +199,141 @@ func TestHTTPNegativeTrialsRejected(t *testing.T) {
 		if status != http.StatusBadRequest {
 			t.Errorf("%s %s: status %d, want 400 (%s)", tc.path, tc.body, status, body)
 		}
+	}
+}
+
+// TestHTTPMethodContract is the satellite method-contract test: the
+// read-only endpoints answer GET and reject every other verb with 405
+// plus an Allow header (healthz used to accept POST and DELETE).
+func TestHTTPMethodContract(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewService()))
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		method, path string
+		wantStatus   int
+	}{
+		{http.MethodGet, "/healthz", http.StatusOK},
+		{http.MethodPost, "/healthz", http.StatusMethodNotAllowed},
+		{http.MethodPut, "/healthz", http.StatusMethodNotAllowed},
+		{http.MethodDelete, "/healthz", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/v1/stats", http.StatusOK},
+		{http.MethodPost, "/v1/stats", http.StatusMethodNotAllowed},
+		{http.MethodPut, "/v1/stats", http.StatusMethodNotAllowed},
+		{http.MethodDelete, "/v1/stats", http.StatusMethodNotAllowed},
+		// /v1/log is GET-only too; without -log-scenarios a GET is 404.
+		{http.MethodGet, "/v1/log", http.StatusNotFound},
+		{http.MethodPost, "/v1/log", http.StatusMethodNotAllowed},
+	} {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s %s = %d, want %d", tc.method, tc.path, resp.StatusCode, tc.wantStatus)
+		}
+		if tc.wantStatus == http.StatusMethodNotAllowed {
+			if got := resp.Header.Get("Allow"); got != http.MethodGet {
+				t.Errorf("%s %s: Allow = %q, want GET", tc.method, tc.path, got)
+			}
+		}
+	}
+}
+
+// failWriter always fails without writing a byte.
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("disk full") }
+
+// TestHTTPRecordFailureLogged is the discarded-error regression test:
+// a scenario-log write failure used to vanish (`_ = c.slog.Record`);
+// it must reach the handler's logf while the planning request itself
+// still succeeds.
+func TestHTTPRecordFailureLogged(t *testing.T) {
+	var mu sync.Mutex
+	var logged []string
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		logged = append(logged, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	srv := httptest.NewServer(NewHandler(NewService(),
+		WithScenarioLog(NewScenarioLog(failWriter{})), WithLogf(logf)))
+	defer srv.Close()
+
+	status, body, _ := postJSON(t, srv.Client(), srv.URL+"/v1/plan",
+		`{"family":"genome","tasks":40,"procs":3,"seed":1}`)
+	if status != http.StatusOK {
+		t.Fatalf("plan must survive a log failure, got %d %s", status, body)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, line := range logged {
+		if strings.Contains(line, "scenario log") && strings.Contains(line, "disk full") {
+			return
+		}
+	}
+	t.Fatalf("record failure never reached logf; logged: %q", logged)
+}
+
+// TestHTTPLogEndpoint pins GET /v1/log: the snapshot body is the
+// miss-log verbatim, ?offset resumes mid-file, and a bad offset is a
+// 400 — the contract serve -tail's HTTP client builds on.
+func TestHTTPLogEndpoint(t *testing.T) {
+	path := t.TempDir() + "/miss.jsonl"
+	slog, err := OpenScenarioLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slog.Close()
+	srv := httptest.NewServer(NewHandler(NewService(), WithScenarioLog(slog)))
+	defer srv.Close()
+
+	for seed := 1; seed <= 2; seed++ {
+		body := fmt.Sprintf(`{"family":"genome","tasks":40,"procs":3,"seed":%d}`, seed)
+		if status, resp, _ := postJSON(t, srv.Client(), srv.URL+"/v1/plan", body); status != http.StatusOK {
+			t.Fatalf("plan: %d %s", status, resp)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(query string) (int, string, http.Header) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + "/v1/log" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		blob, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(blob), resp.Header
+	}
+
+	status, body, hdr := get("")
+	if status != http.StatusOK || body != string(want) {
+		t.Fatalf("GET /v1/log = %d:\n%q\nwant the file verbatim:\n%q", status, body, want)
+	}
+	if got := hdr.Get("Content-Type"); got != ndjsonContentType {
+		t.Fatalf("Content-Type = %q, want %q", got, ndjsonContentType)
+	}
+	firstLine := bytes.IndexByte(want, '\n') + 1
+	if status, body, _ = get(fmt.Sprintf("?offset=%d", firstLine)); status != http.StatusOK || body != string(want[firstLine:]) {
+		t.Fatalf("offset resume = %d %q, want the second line only", status, body)
+	}
+	if status, _, _ = get("?offset=abc"); status != http.StatusBadRequest {
+		t.Fatalf("bad offset = %d, want 400", status)
+	}
+	if status, _, _ = get("?offset=-1"); status != http.StatusBadRequest {
+		t.Fatalf("negative offset = %d, want 400", status)
 	}
 }

@@ -1,0 +1,337 @@
+package hanccr
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newTestRouter stands a router up in front of the given backend URLs
+// and returns both the router (for white-box ring queries) and an
+// httptest server wrapping it.
+func newTestRouter(t *testing.T, backends []string, opts ...RouterOption) (*Router, *httptest.Server) {
+	t.Helper()
+	router, err := NewRouter(backends, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(router)
+	t.Cleanup(srv.Close)
+	return router, srv
+}
+
+// scenarioBody builds the distinct-seed plan body the affinity tests
+// route.
+func scenarioBody(seed int) string {
+	return fmt.Sprintf(`{"family":"genome","tasks":40,"procs":3,"seed":%d}`, seed)
+}
+
+// keyOf computes the canonical key the router hashes for a body —
+// exactly the replica handlers' wire → Scenario → Key pipeline.
+func keyOf(t *testing.T, body string) string {
+	t.Helper()
+	var req ScenarioRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	return req.Scenario().Key()
+}
+
+// TestRouterKeyAffinityAndDedupe is the core scale-out claim: D
+// distinct scenarios driven through the router three times land each
+// scenario on one stable home replica, the fleet plans each scenario
+// exactly once in aggregate, and every routed response is
+// byte-identical to a single serial server's answer.
+func TestRouterKeyAffinityAndDedupe(t *testing.T) {
+	const replicas = 3
+	services := make([]*Service, replicas)
+	urls := make([]string, replicas)
+	for i := range services {
+		services[i] = NewService()
+		b := httptest.NewServer(NewHandler(services[i]))
+		defer b.Close()
+		urls[i] = b.URL
+	}
+	_, lb := newTestRouter(t, urls)
+
+	// Serial reference: one fresh service answering the same traffic.
+	ref := httptest.NewServer(NewHandler(NewService()))
+	defer ref.Close()
+
+	const distinct = 12
+	home := make(map[int]string) // seed -> X-Backend of first pass
+	for pass := 0; pass < 3; pass++ {
+		for seed := 0; seed < distinct; seed++ {
+			body := scenarioBody(seed)
+			status, got, hdr := postJSON(t, lb.Client(), lb.URL+"/v1/plan", body)
+			if status != http.StatusOK {
+				t.Fatalf("pass %d seed %d: %d %s", pass, seed, status, got)
+			}
+			refStatus, want, _ := postJSON(t, ref.Client(), ref.URL+"/v1/plan", body)
+			if refStatus != http.StatusOK {
+				t.Fatalf("reference seed %d: %d %s", seed, refStatus, want)
+			}
+			if got != want {
+				t.Fatalf("routed response differs from serial reference for seed %d:\nrouted: %s\nserial: %s", seed, got, want)
+			}
+			backend := hdr.Get("X-Backend")
+			if backend == "" {
+				t.Fatalf("pass %d seed %d: no X-Backend header", pass, seed)
+			}
+			if prev, ok := home[seed]; ok && prev != backend {
+				t.Fatalf("seed %d moved replicas: %s then %s", seed, prev, backend)
+			}
+			home[seed] = backend
+			// Repeat passes must be cache hits on the home replica.
+			if pass > 0 {
+				if got := hdr.Get("X-Cache"); got != "hit" {
+					t.Fatalf("pass %d seed %d: X-Cache = %q, want hit", pass, seed, got)
+				}
+			}
+		}
+	}
+
+	var misses uint64
+	for _, svc := range services {
+		misses += svc.Stats().Misses
+	}
+	if misses != distinct {
+		t.Fatalf("fleet planned %d scenarios, want exactly %d (key affinity must dedupe repeats)", misses, distinct)
+	}
+}
+
+// TestRouterFailsOverOn503 pins the refusal path: a backend answering
+// 429/503 with Retry-After loses the request to the next replica in
+// ring order, the answer is still correct, and the cooldown keeps the
+// router from re-probing the refusing backend until the hint expires.
+func TestRouterFailsOverOn503(t *testing.T) {
+	var badCalls atomic.Uint64
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		badCalls.Add(1)
+		w.Header().Set("Retry-After", "60")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer bad.Close()
+	good := httptest.NewServer(NewHandler(NewService()))
+	defer good.Close()
+
+	router, lb := newTestRouter(t, []string{bad.URL, good.URL})
+
+	// Find a scenario whose home replica is the bad backend, using the
+	// same ring the router routes with — deterministic, no flakiness.
+	seed, found := 0, false
+	for ; seed < 4096; seed++ {
+		if order := router.candidatesForKey(keyOf(t, scenarioBody(seed))); router.backends[order[0]].url == strings.TrimRight(bad.URL, "/") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no scenario homed on the bad backend in 4096 seeds")
+	}
+
+	status, body, hdr := postJSON(t, lb.Client(), lb.URL+"/v1/plan", scenarioBody(seed))
+	if status != http.StatusOK {
+		t.Fatalf("failover plan: %d %s", status, body)
+	}
+	if got := hdr.Get("X-Backend"); got != strings.TrimRight(good.URL, "/") {
+		t.Fatalf("X-Backend = %q, want the good replica %q", got, good.URL)
+	}
+	if badCalls.Load() != 1 {
+		t.Fatalf("bad backend probed %d times, want 1", badCalls.Load())
+	}
+
+	// While the Retry-After cooldown holds, the same scenario must go
+	// straight to the good replica without probing the benched one.
+	status, body, _ = postJSON(t, lb.Client(), lb.URL+"/v1/plan", scenarioBody(seed))
+	if status != http.StatusOK {
+		t.Fatalf("cooled plan: %d %s", status, body)
+	}
+	if badCalls.Load() != 1 {
+		t.Fatalf("cooling backend probed again (%d calls); the 60s Retry-After must bench it", badCalls.Load())
+	}
+
+	st := router.Stats()
+	var badRow *BackendStats
+	for i := range st.Backends {
+		if st.Backends[i].URL == strings.TrimRight(bad.URL, "/") {
+			badRow = &st.Backends[i]
+		}
+	}
+	if badRow == nil || !badRow.Cooling || badRow.Retried != 1 {
+		t.Fatalf("bad backend stats = %+v, want cooling with 1 retried", badRow)
+	}
+}
+
+// TestRouterConnectFailureFailover pins the transport-error path: a
+// dead backend (connection refused) is routed around and charged an
+// error, not a retry.
+func TestRouterConnectFailureFailover(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close() // nothing listens here any more
+	good := httptest.NewServer(NewHandler(NewService()))
+	defer good.Close()
+
+	router, lb := newTestRouter(t, []string{deadURL, good.URL})
+
+	seed := 0
+	for ; seed < 4096; seed++ {
+		if order := router.candidatesForKey(keyOf(t, scenarioBody(seed))); router.backends[order[0]].url == strings.TrimRight(deadURL, "/") {
+			break
+		}
+	}
+	status, body, hdr := postJSON(t, lb.Client(), lb.URL+"/v1/plan", scenarioBody(seed))
+	if status != http.StatusOK {
+		t.Fatalf("failover plan: %d %s", status, body)
+	}
+	if got := hdr.Get("X-Backend"); got != strings.TrimRight(good.URL, "/") {
+		t.Fatalf("X-Backend = %q, want the live replica", got)
+	}
+	st := router.Stats()
+	for _, b := range st.Backends {
+		if b.URL == strings.TrimRight(deadURL, "/") && b.Errors == 0 {
+			t.Fatalf("dead backend charged no transport error: %+v", st)
+		}
+	}
+}
+
+// TestRouterAllBackendsDown pins the exhaustion contract: when every
+// candidate is unreachable the router answers 502, not a hang or a
+// panic.
+func TestRouterAllBackendsDown(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close()
+	_, lb := newTestRouter(t, []string{deadURL})
+
+	status, body, _ := postJSON(t, lb.Client(), lb.URL+"/v1/plan", scenarioBody(1))
+	if status != http.StatusBadGateway {
+		t.Fatalf("all-down plan = %d %s, want 502", status, body)
+	}
+	if !strings.Contains(body, "no backend reachable") {
+		t.Fatalf("502 body %q does not explain itself", body)
+	}
+}
+
+// TestRouterRingDeterministicAndSpread pins the two ring properties
+// the fleet depends on: two routers over the same backend list agree
+// on every key's failover order (clients can sit behind redundant
+// routers), and the key spread is non-degenerate (no replica owns
+// everything).
+func TestRouterRingDeterministicAndSpread(t *testing.T) {
+	backends := []string{"http://replica-a:8080", "http://replica-b:8080", "http://replica-c:8080"}
+	r1, err := NewRouter(backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRouter(backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := make(map[int]int)
+	for seed := 0; seed < 200; seed++ {
+		key := keyOf(t, scenarioBody(seed))
+		o1, o2 := r1.candidatesForKey(key), r2.candidatesForKey(key)
+		if fmt.Sprint(o1) != fmt.Sprint(o2) {
+			t.Fatalf("routers disagree on key %s: %v vs %v", key, o1, o2)
+		}
+		if len(o1) != len(backends) {
+			t.Fatalf("failover order %v does not cover all %d backends", o1, len(backends))
+		}
+		owned[o1[0]]++
+	}
+	for idx := range backends {
+		if owned[idx] == 0 {
+			t.Fatalf("replica %d owns no keys out of 200: %v", idx, owned)
+		}
+		if owned[idx] > 160 {
+			t.Fatalf("degenerate spread, replica %d owns %d/200 keys: %v", idx, owned[idx], owned)
+		}
+	}
+}
+
+// TestRouterHealthzAndStats pins the router's own endpoints: GET-only,
+// never proxied, and the stats reflect forwarded traffic.
+func TestRouterHealthzAndStats(t *testing.T) {
+	backend := httptest.NewServer(NewHandler(NewService()))
+	defer backend.Close()
+	_, lb := newTestRouter(t, []string{backend.URL})
+
+	if status, body, _ := postJSON(t, lb.Client(), lb.URL+"/v1/plan", scenarioBody(1)); status != http.StatusOK {
+		t.Fatalf("plan through router: %d %s", status, body)
+	}
+
+	for _, path := range []string{"/healthz", "/v1/lb/stats"} {
+		resp, err := lb.Client().Get(lb.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			Status   string         `json:"status"`
+			Backends []BackendStats `json:"backends"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		if len(st.Backends) != 1 || st.Backends[0].Forwarded != 1 {
+			t.Fatalf("%s backends = %+v, want 1 backend with 1 forwarded", path, st.Backends)
+		}
+
+		req, err := http.NewRequest(http.MethodPost, lb.URL+path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		postResp, err := lb.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		postResp.Body.Close()
+		if postResp.StatusCode != http.StatusMethodNotAllowed || postResp.Header.Get("Allow") != http.MethodGet {
+			t.Fatalf("POST %s = %d Allow=%q, want 405 with Allow: GET", path, postResp.StatusCode, postResp.Header.Get("Allow"))
+		}
+	}
+}
+
+// TestRouterCooldownExpires pins that a benched backend rejoins the
+// rotation once its cooldown lapses — the test seam clock advances
+// instead of sleeping.
+func TestRouterCooldownExpires(t *testing.T) {
+	router, err := NewRouter([]string{"http://replica-a:8080"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1700000000, 0)
+	now := base
+	router.now = func() time.Time { return now }
+
+	b := router.backends[0]
+	router.cool(b, "5")
+	if !router.cooling(b) {
+		t.Fatal("backend not cooling right after cool()")
+	}
+	now = base.Add(4 * time.Second)
+	if !router.cooling(b) {
+		t.Fatal("cooldown expired early")
+	}
+	now = base.Add(6 * time.Second)
+	if router.cooling(b) {
+		t.Fatal("cooldown never expired")
+	}
+
+	// A huge Retry-After is capped.
+	router.cool(b, "86400")
+	now = base.Add(6*time.Second + maxRouterCooldown + time.Second)
+	if router.cooling(b) {
+		t.Fatal("Retry-After cap not applied")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -14,19 +15,66 @@ import (
 
 // ScenarioLog records scenario traffic as JSONL — one ScenarioRequest
 // per line — so a later boot can replay it through the cache
-// (Service.WarmFromLog). Safe for concurrent use; attach one to an
-// HTTP handler with WithScenarioLog.
+// (Service.WarmFromLog) and a peer can tail it continuously
+// (Service.Follow, GET /v1/log). Safe for concurrent use; attach one
+// to an HTTP handler with WithScenarioLog.
 type ScenarioLog struct {
 	mu sync.Mutex
 	w  io.Writer
+	// dirty means the last write left a half-finished line in the log
+	// (short or failed write): the next record must emit a recovery
+	// newline first, or it would merge with the fragment into one
+	// unparseable line and poison every reader from that point on.
+	dirty bool
+	// path and file are set when the log was opened by OpenScenarioLog;
+	// path is what GET /v1/log tails.
+	path string
+	file *os.File
 }
 
 // NewScenarioLog wraps w as a scenario log. The caller owns w (and
-// closes it, if it is a file).
+// closes it, if it is a file). A log built this way has no path, so it
+// cannot back the GET /v1/log endpoint — use OpenScenarioLog for that.
 func NewScenarioLog(w io.Writer) *ScenarioLog { return &ScenarioLog{w: w} }
+
+// OpenScenarioLog opens (creating, append-only) the JSONL scenario log
+// at path. A path-backed log can be streamed to peers via GET /v1/log;
+// the caller closes it with Close when the daemon shuts down.
+func OpenScenarioLog(path string) (*ScenarioLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &ScenarioLog{w: f, path: path, file: f}, nil
+}
+
+// Path returns the file path behind the log, or "" when the log wraps
+// a plain writer.
+func (l *ScenarioLog) Path() string {
+	if l == nil {
+		return ""
+	}
+	return l.path
+}
+
+// Close closes the underlying file when the log owns one
+// (OpenScenarioLog); a writer-wrapped or nil log is a no-op.
+func (l *ScenarioLog) Close() error {
+	if l == nil || l.file == nil {
+		return nil
+	}
+	return l.file.Close()
+}
 
 // Record appends one scenario request as a single JSON line. A nil log
 // records nothing.
+//
+// A short or failed write can leave a partial line with no trailing
+// newline in the file; Record tracks that with a dirty flag and emits
+// a recovery newline before the next record, so one bad write (a full
+// disk, a signal-interrupted syscall) corrupts at most the record it
+// carried — the salvaged fragment becomes its own unparseable line,
+// which the tailer skips, instead of merging with the next record.
 func (l *ScenarioLog) Record(req ScenarioRequest) error {
 	if l == nil {
 		return nil
@@ -38,7 +86,19 @@ func (l *ScenarioLog) Record(req ScenarioRequest) error {
 	line = append(line, '\n')
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	_, err = l.w.Write(line)
+	if l.dirty {
+		if _, err := l.w.Write([]byte{'\n'}); err != nil {
+			return fmt.Errorf("scenario log: recovery newline: %w", err)
+		}
+		l.dirty = false
+	}
+	n, err := l.w.Write(line)
+	if n > 0 && n < len(line) {
+		l.dirty = true
+	}
+	if err == nil && n < len(line) {
+		err = io.ErrShortWrite
+	}
 	return err
 }
 
@@ -65,35 +125,7 @@ const maxScenarioLogLine = maxRequestBody + 4096
 // validates) only count toward failed. On abort the counts still
 // report the replay done before the bad line was reached.
 func (s *Service) WarmFromLog(ctx context.Context, r io.Reader, workers int) (warmed, failed int, err error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	ch := make(chan Scenario, 2*workers)
-	var ok, bad atomic.Int64
-	var abortErr error
-	var abortOnce sync.Once
-	var wg sync.WaitGroup
-	for k := 0; k < workers; k++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for sc := range ch {
-				// Replay bypasses the admission gate and request budget: it
-				// runs before (or beside) live traffic, is already bounded by
-				// this worker pool, and a gate sized for request bursts must
-				// not shed the very scenarios meant to warm the cache.
-				if perr := warmOne(ctx, s, sc); perr != nil {
-					if ctx.Err() != nil {
-						abortOnce.Do(func() { abortErr = perr })
-						return
-					}
-					bad.Add(1)
-					continue
-				}
-				ok.Add(1)
-			}
-		}()
-	}
+	ch, wait := s.warmPool(ctx, workers)
 
 	scan := bufio.NewScanner(r)
 	scan.Buffer(make([]byte, 64*1024), maxScenarioLogLine)
@@ -129,8 +161,7 @@ scanLoop:
 		}
 	}
 	close(ch)
-	wg.Wait()
-	warmed, failed = int(ok.Load()), int(bad.Load())
+	warmed, failed, abortErr := wait()
 	switch {
 	case scanErr != nil:
 		return warmed, failed, scanErr
@@ -139,6 +170,49 @@ scanLoop:
 	default:
 		return warmed, failed, ctx.Err()
 	}
+}
+
+// warmPool starts the bounded-channel replay pool shared by boot-time
+// warm-up (WarmFromLog) and continuous tailing (Service.Follow):
+// workers drain scenarios from the returned channel straight into the
+// plan cache. The caller closes the channel when the stream ends; wait
+// then reports how many scenarios planned (or hit warm), how many
+// failed, and the first abort error a cancelled context produced.
+func (s *Service) warmPool(ctx context.Context, workers int) (chan<- Scenario, func() (warmed, failed int, abortErr error)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ch := make(chan Scenario, 2*workers)
+	var ok, bad atomic.Int64
+	var abortErr error
+	var abortOnce sync.Once
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sc := range ch {
+				// Replay bypasses the admission gate and request budget: it
+				// runs before (or beside) live traffic, is already bounded by
+				// this worker pool, and a gate sized for request bursts must
+				// not shed the very scenarios meant to warm the cache.
+				if perr := warmOne(ctx, s, sc); perr != nil {
+					if ctx.Err() != nil {
+						abortOnce.Do(func() { abortErr = perr })
+						return
+					}
+					bad.Add(1)
+					continue
+				}
+				ok.Add(1)
+			}
+		}()
+	}
+	wait := func() (int, int, error) {
+		wg.Wait()
+		return int(ok.Load()), int(bad.Load()), abortErr
+	}
+	return ch, wait
 }
 
 // warmOne plans one replayed scenario straight through the shard cache

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"testing"
 )
@@ -162,5 +163,106 @@ func TestWarmFromLogCancellation(t *testing.T) {
 	_, _, err := svc.WarmFromLog(ctx, strings.NewReader(log.String()), 2)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// scheduledWriter fails exactly the scripted write calls (1-based):
+// partial calls write half the bytes then error, total calls write
+// nothing. Everything else passes through.
+type scheduledWriter struct {
+	w       bytes.Buffer
+	calls   int
+	partial map[int]bool
+	total   map[int]bool
+}
+
+func (s *scheduledWriter) Write(p []byte) (int, error) {
+	s.calls++
+	switch {
+	case s.total[s.calls]:
+		return 0, errors.New("injected total write failure")
+	case s.partial[s.calls]:
+		n, _ := s.w.Write(p[:len(p)/2])
+		return n, errors.New("injected short write")
+	}
+	return s.w.Write(p)
+}
+
+// TestScenarioLogShortWriteRecovery is the dirty-flag regression test:
+// a partial write used to leave the log with a torn line that silently
+// glued itself to the NEXT record, corrupting both. Record must now
+// emit a recovery newline before the next record so exactly one line
+// (the salvaged fragment) is lost, and a total failure (0 bytes
+// written) must NOT inject a spurious blank line.
+func TestScenarioLogShortWriteRecovery(t *testing.T) {
+	// Call 2 = record B dies halfway; call 3 is the recovery newline
+	// before C; call 5 = record D writes nothing at all.
+	sw := &scheduledWriter{partial: map[int]bool{2: true}, total: map[int]bool{5: true}}
+	slog := NewScenarioLog(sw)
+
+	rec := func(seed int64) error {
+		return slog.Record(ScenarioRequest{Family: "genome", Tasks: 40, Procs: 3, Seed: &seed})
+	}
+	if err := rec(1); err != nil { // A
+		t.Fatalf("record A: %v", err)
+	}
+	if err := rec(2); err == nil { // B: torn mid-line
+		t.Fatal("record B: want the injected short-write error")
+	}
+	if err := rec(3); err != nil { // C: must be preceded by a recovery newline
+		t.Fatalf("record C: %v", err)
+	}
+	if err := rec(4); err == nil { // D: total failure, nothing written
+		t.Fatal("record D: want the injected total-failure error")
+	}
+	if err := rec(5); err != nil { // E: no recovery newline needed after D
+		t.Fatalf("record E: %v", err)
+	}
+
+	blob := sw.w.String()
+	lines := strings.Split(blob, "\n")
+	if lines[len(lines)-1] != "" {
+		t.Fatalf("log does not end in a newline:\n%q", blob)
+	}
+	lines = lines[:len(lines)-1]
+	// A, half-of-B (closed by the recovery newline), C, E — and no
+	// blank line between C and E from the total failure.
+	if len(lines) != 4 {
+		t.Fatalf("log holds %d lines, want 4 (A, fragment, C, E):\n%q", len(lines), blob)
+	}
+	wantSeed := func(line string, seed int64) {
+		t.Helper()
+		var req ScenarioRequest
+		if err := json.Unmarshal([]byte(line), &req); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		if req.Seed == nil || *req.Seed != seed {
+			t.Fatalf("line %q: want seed %d", line, seed)
+		}
+	}
+	wantSeed(lines[0], 1)
+	if json.Valid([]byte(lines[1])) {
+		t.Fatalf("salvaged fragment %q unexpectedly parses — the short write was not torn", lines[1])
+	}
+	wantSeed(lines[2], 3)
+	wantSeed(lines[3], 5)
+
+	// The tailer's half of the contract: a snapshot read of this log
+	// delivers A, C and E and skips exactly the fragment.
+	path := t.TempDir() + "/recovered.jsonl"
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	var skipped int
+	err := TailLog(context.Background(), path, func(req ScenarioRequest) error {
+		got = append(got, *req.Seed)
+		return nil
+	}, TailOnce(), TailOnSkip(func([]byte, error) { skipped++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[1 3 5]" || skipped != 1 {
+		t.Fatalf("tailed seeds %v with %d skips, want [1 3 5] with 1 skip", got, skipped)
 	}
 }

@@ -1,0 +1,380 @@
+package hanccr
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// DefaultTailInterval is how often a follow-mode tailer polls a file
+// that currently has no new complete line. Poll-based (no fsnotify, no
+// cgo) keeps the tailer stdlib-only and portable; a quarter second is
+// far below any cache-warming latency that matters while costing one
+// stat per idle tick.
+const DefaultTailInterval = 250 * time.Millisecond
+
+// tailReconnectBackoff is how long the HTTP tailer waits before
+// re-dialing a peer whose /v1/log stream dropped or refused.
+const tailReconnectBackoff = 500 * time.Millisecond
+
+// TailOption configures TailLog.
+type TailOption func(*tailConfig)
+
+type tailConfig struct {
+	offset   int64
+	interval time.Duration
+	follow   bool
+	onSkip   func(line []byte, err error)
+}
+
+// TailFrom starts the tail at the given byte offset instead of the
+// start of the file. An offset beyond the current file size (the file
+// was truncated or rotated since the offset was taken) restarts from
+// the beginning rather than waiting for the file to regrow past it.
+func TailFrom(offset int64) TailOption {
+	return func(c *tailConfig) {
+		if offset > 0 {
+			c.offset = offset
+		}
+	}
+}
+
+// TailInterval sets the idle poll interval (default
+// DefaultTailInterval).
+func TailInterval(d time.Duration) TailOption {
+	return func(c *tailConfig) {
+		if d > 0 {
+			c.interval = d
+		}
+	}
+}
+
+// TailOnce stops at the current end of the file instead of following
+// appends — a snapshot read with the tailer's partial-line tolerance.
+func TailOnce() TailOption {
+	return func(c *tailConfig) { c.follow = false }
+}
+
+// TailOnSkip registers a callback for lines the tailer drops: blank
+// recovery lines, salvaged write fragments and anything else that does
+// not parse as a ScenarioRequest. A live log is allowed to contain
+// them (see ScenarioLog.Record), so the tailer skips instead of
+// aborting the way the strict boot-time WarmFromLog does.
+func TailOnSkip(fn func(line []byte, err error)) TailOption {
+	return func(c *tailConfig) { c.onSkip = fn }
+}
+
+// TailLog follows the JSONL scenario log at path, invoking fn for
+// every complete, parseable ScenarioRequest line — the continuous
+// counterpart of Service.WarmFromLog's one-shot replay. It polls
+// (stdlib-only, no fsnotify): a partially written last line is never
+// delivered, only retried once its newline lands; unparseable lines
+// (blank recovery lines, salvaged fragments of a failed write) are
+// skipped, not fatal. A file that does not exist yet is waited for.
+//
+// TailLog returns when fn returns an error (that error), when ctx is
+// done (ctx.Err()), or — under TailOnce — when the end of the file is
+// reached (nil).
+func TailLog(ctx context.Context, path string, fn func(ScenarioRequest) error, opts ...TailOption) error {
+	cfg := tailConfig{interval: DefaultTailInterval, follow: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return tailLines(ctx, path, cfg, func(line []byte) error {
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 {
+			return nil
+		}
+		var req ScenarioRequest
+		if err := json.Unmarshal(trimmed, &req); err != nil {
+			if cfg.onSkip != nil {
+				cfg.onSkip(line, err)
+			}
+			return nil
+		}
+		return fn(req)
+	})
+}
+
+// tailLines is the byte-level core under TailLog and GET /v1/log: it
+// streams the complete lines of the file at path (newline stripped)
+// from cfg.offset, polling for growth in follow mode. Offsets are
+// plain file offsets, so a consumer that counts len(line)+1 per line
+// can resume exactly where it stopped.
+func tailLines(ctx context.Context, path string, cfg tailConfig, emit func(line []byte) error) error {
+	if cfg.interval <= 0 {
+		cfg.interval = DefaultTailInterval
+	}
+	var (
+		f       *os.File
+		pos     int64 // file offset of the next byte to read
+		pending []byte
+		discard bool // inside an over-long line: drop bytes until its newline
+		buf     = make([]byte, 64*1024)
+	)
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+
+	sleep := func() error {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(cfg.interval):
+			return nil
+		}
+	}
+
+	// open (re)opens the file and clamps the resume offset to its size:
+	// a shrunken file means truncation or rotation, and replaying from
+	// the start beats waiting forever for bytes that will never return.
+	open := func() error {
+		var err error
+		f, err = os.Open(path)
+		if err != nil {
+			return err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			f = nil
+			return err
+		}
+		if cfg.offset > st.Size() {
+			cfg.offset = 0
+		}
+		if _, err := f.Seek(cfg.offset, io.SeekStart); err != nil {
+			f.Close()
+			f = nil
+			return err
+		}
+		pos = cfg.offset
+		pending = pending[:0]
+		discard = false
+		return nil
+	}
+
+	for f == nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := open()
+		if err == nil {
+			break
+		}
+		if !os.IsNotExist(err) {
+			return err
+		}
+		if !cfg.follow {
+			return nil // snapshot of a log that does not exist yet: empty
+		}
+		if err := sleep(); err != nil {
+			return err
+		}
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n, rerr := f.Read(buf)
+		if n > 0 {
+			pending = append(pending, buf[:n]...)
+			pos += int64(n)
+			for {
+				i := bytes.IndexByte(pending, '\n')
+				if i < 0 {
+					break
+				}
+				line := pending[:i]
+				if discard {
+					// The newline ends the over-long line whose head was
+					// already dropped; its tail must not surface as a line.
+					discard = false
+				} else if err := emit(line); err != nil {
+					return err
+				}
+				pending = pending[i+1:]
+			}
+			// A "line" beyond any legal log entry will never parse; drop
+			// it now so a corrupt or hostile file cannot grow the pending
+			// buffer without bound (discard mode keeps dropping until the
+			// line's newline finally arrives).
+			if len(pending) > maxScenarioLogLine {
+				if !discard && cfg.onSkip != nil {
+					cfg.onSkip(pending, bufio.ErrTooLong)
+				}
+				discard = true
+				pending = pending[:0]
+			}
+			continue
+		}
+		if rerr != nil && rerr != io.EOF {
+			return rerr
+		}
+		// EOF: the file has no complete new line right now.
+		if !cfg.follow {
+			return nil
+		}
+		if err := sleep(); err != nil {
+			return err
+		}
+		// Detect truncation/rotation while idle: if the file shrank below
+		// our read position, reopen from the start.
+		st, err := os.Stat(path)
+		if err != nil || st.Size() < pos {
+			f.Close()
+			f = nil
+			cfg.offset = 0
+			for f == nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				if oerr := open(); oerr == nil {
+					break
+				} else if !os.IsNotExist(oerr) {
+					return oerr
+				}
+				if serr := sleep(); serr != nil {
+					return serr
+				}
+			}
+		}
+	}
+}
+
+// Follow continuously absorbs a peer's miss-log into this Service's
+// plan cache — the cross-process warm path. source is either a JSONL
+// file path (shared disk, tailed via TailLog) or an http(s) URL of a
+// peer replica (its GET /v1/log NDJSON stream, re-dialled with the
+// last byte offset whenever the connection drops). Each absorbed line
+// plans through the sharded cache on the same bounded worker pool
+// WarmFromLog uses, so a follower replica computes a scenario at most
+// once no matter how often the peer re-serves it.
+//
+// Follow runs until ctx is done and returns how many log lines were
+// absorbed (planned cold or already warm) and how many failed to plan,
+// plus ctx.Err().
+func (s *Service) Follow(ctx context.Context, source string, workers int) (absorbed, failed int, err error) {
+	ch, wait := s.warmPool(ctx, workers)
+	feed := func(req ScenarioRequest) error {
+		// req.Scenario() clones any injected document out of the tail
+		// buffer, so the next line cannot corrupt a queued scenario.
+		select {
+		case ch <- req.Scenario():
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	var terr error
+	if strings.HasPrefix(source, "http://") || strings.HasPrefix(source, "https://") {
+		terr = tailHTTPLog(ctx, source, feed)
+	} else {
+		terr = TailLog(ctx, source, feed)
+	}
+	close(ch)
+	absorbed, failed, abortErr := wait()
+	switch {
+	case terr != nil && !errors.Is(terr, context.Canceled):
+		return absorbed, failed, terr
+	case abortErr != nil && !errors.Is(abortErr, context.Canceled):
+		return absorbed, failed, abortErr
+	default:
+		return absorbed, failed, ctx.Err()
+	}
+}
+
+// tailHTTPLog follows a peer replica's GET /v1/log NDJSON stream,
+// reconnecting with the last consumed byte offset whenever the
+// connection drops (peer restart, network blip, drain-time 503). The
+// offset advances only on complete (newline-terminated) lines, so a
+// reconnect can never skip or split a record. Unparseable lines are
+// skipped like the file tailer's.
+func tailHTTPLog(ctx context.Context, source string, fn func(ScenarioRequest) error) error {
+	base := strings.TrimRight(source, "/")
+	if !strings.HasSuffix(base, "/v1/log") {
+		base += "/v1/log"
+	}
+	client := &http.Client{} // no global timeout: the stream is long-lived
+	var offset int64
+	sleep := func() error {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(tailReconnectBackoff):
+			return nil
+		}
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		url := fmt.Sprintf("%s?follow=1&offset=%d", base, offset)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if err := sleep(); err != nil {
+				return err
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			// 503 while the peer drains, 404 while its log is not yet
+			// configured — both are "try again later", not fatal.
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			if err := sleep(); err != nil {
+				return err
+			}
+			continue
+		}
+		br := bufio.NewReaderSize(resp.Body, 64*1024)
+		for {
+			line, rerr := br.ReadBytes('\n')
+			if rerr == nil || (rerr == io.EOF && len(line) > 0 && line[len(line)-1] == '\n') {
+				offset += int64(len(line))
+				trimmed := bytes.TrimSpace(line)
+				if len(trimmed) > 0 {
+					var sreq ScenarioRequest
+					if uerr := json.Unmarshal(trimmed, &sreq); uerr == nil {
+						if ferr := fn(sreq); ferr != nil {
+							resp.Body.Close()
+							return ferr
+						}
+					}
+				}
+				if rerr == nil {
+					continue
+				}
+			}
+			// Stream ended (EOF, reset, ctx cancellation). A trailing
+			// partial line is NOT counted into offset: the reconnect
+			// re-requests it from its first byte.
+			resp.Body.Close()
+			break
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err := sleep(); err != nil {
+			return err
+		}
+	}
+}
