@@ -43,7 +43,10 @@ golden-update:
 # Boot cmd/serve with a two-line warm log and scenario recording, hit
 # every endpoint (plan, batch, sweep, healthz), tear down. Proves the
 # daemon wiring — listen, warm-up replay, JSON round trips, traffic
-# logging, graceful shutdown — outside the httptest harness.
+# logging, graceful shutdown — outside the httptest harness. Three
+# phases: endpoints, overload protection, and restart persistence (boot
+# with -store, serve one plan, SIGTERM, reboot over the same directory,
+# assert the first request is a cache hit with zero planner misses).
 serve-smoke:
 	$(GO) build -o /tmp/hanccr-serve ./cmd/serve
 	@set -e; \
@@ -119,6 +122,41 @@ serve-smoke:
 	grep -q '"mean"' /tmp/hanccr-slow-sim.json \
 		|| { echo "serve-smoke: in-flight simulate returned no result through the drain"; exit 1; }; \
 	wait $$pid2 || true; \
+	echo "serve-smoke: overload OK, starting restart-persistence boot"; \
+	rm -rf /tmp/hanccr-store; \
+	/tmp/hanccr-serve -addr 127.0.0.1:18082 -store /tmp/hanccr-store & pid3=$$!; \
+	trap "kill $$pid3 2>/dev/null || true" EXIT; \
+	ok=0; \
+	for i in $$(seq 1 50); do \
+		if curl -fsS http://127.0.0.1:18082/healthz >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	[ $$ok -eq 1 ] || { echo "serve-smoke: store daemon never came up"; exit 1; }; \
+	curl -fsS -D /tmp/hanccr-store-h1.txt -o /tmp/hanccr-store-b1.json -X POST \
+		-d '{"family":"genome","tasks":50,"procs":5}' http://127.0.0.1:18082/v1/plan; \
+	tr -d '\r' < /tmp/hanccr-store-h1.txt | grep -qi '^x-cache: miss' \
+		|| { echo "serve-smoke: first-boot plan on an empty store was not a miss"; exit 1; }; \
+	kill -TERM $$pid3; wait $$pid3 || true; \
+	/tmp/hanccr-serve -addr 127.0.0.1:18083 -store /tmp/hanccr-store & pid4=$$!; \
+	trap "kill $$pid4 2>/dev/null || true" EXIT; \
+	ok=0; \
+	for i in $$(seq 1 50); do \
+		if curl -fsS http://127.0.0.1:18083/healthz >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	[ $$ok -eq 1 ] || { echo "serve-smoke: restarted store daemon never came up"; exit 1; }; \
+	curl -fsS -D /tmp/hanccr-store-h2.txt -o /tmp/hanccr-store-b2.json -X POST \
+		-d '{"family":"genome","tasks":50,"procs":5}' http://127.0.0.1:18083/v1/plan; \
+	tr -d '\r' < /tmp/hanccr-store-h2.txt | grep -qi '^x-cache: hit' \
+		|| { echo "serve-smoke: restart did not rehydrate the plan from the store (first request missed)"; exit 1; }; \
+	cmp /tmp/hanccr-store-b1.json /tmp/hanccr-store-b2.json \
+		|| { echo "serve-smoke: rehydrated plan response differs from the pre-restart bytes"; exit 1; }; \
+	curl -fsS http://127.0.0.1:18083/v1/stats > /tmp/hanccr-store-stats.json; \
+	grep -q '"misses":0' /tmp/hanccr-store-stats.json \
+		|| { echo "serve-smoke: restarted daemon re-ran the planner (misses != 0)"; exit 1; }; \
+	grep -q '"store_loads":1' /tmp/hanccr-store-stats.json \
+		|| { echo "serve-smoke: restarted daemon did not load 1 record at boot"; exit 1; }; \
+	kill -TERM $$pid4; wait $$pid4 || true; \
 	echo "serve-smoke: OK"
 
 # The resilience suite (admission gate saturation, request budgets,

@@ -43,6 +43,21 @@ type result struct {
 	Panels      []panel      `json:"panels"`
 	SweepStream []streamStat `json:"sweep_stream"`
 	Saturation  *saturStat   `json:"saturation,omitempty"`
+	Store       *storeStat   `json:"store,omitempty"`
+}
+
+// storeStat is the persistent-plan-store panel: wall clock from service
+// construction to the last of N scenarios answered, for a cold boot
+// (every plan computed) versus a store-warm boot (every plan rehydrated
+// from the segment files a previous process wrote). The ratio is what
+// -store buys a restarting daemon; the byte identity of the two answer
+// sets is pinned by the test suite, so this panel only measures time.
+type storeStat struct {
+	Scenarios        int     `json:"scenarios"`
+	ColdSeconds      float64 `json:"cold_seconds"`
+	StoreWarmSeconds float64 `json:"store_warm_seconds"`
+	Speedup          float64 `json:"speedup"`
+	StoreBytes       int64   `json:"store_bytes"`
 }
 
 // saturStat is the overload-protection panel: cold plans offered over
@@ -174,6 +189,18 @@ func main() {
 	fmt.Printf("satur  bound=%d conc=%d offered=%d shed=%d (%.0f%%, p99=%.1fms) admitted p50=%.1fms p99=%.1fms\n",
 		sat.MaxInFlight, sat.Concurrency, sat.Offered, sat.Shed, 100*sat.ShedRate,
 		sat.ShedP99Ms, sat.AdmittedP50Ms, sat.AdmittedP99Ms)
+
+	// Store panel: cold boot vs store-warm boot over the same scenario
+	// set. Not speedup-gated — disk and planner speed vary too much
+	// across runners for a fixed ratio floor — but a failed round trip
+	// (any record that cannot rehydrate) fails the tool.
+	store, err := runStorePanel(ctx, ncpu)
+	if err != nil {
+		fatal(fmt.Errorf("store: %w", err))
+	}
+	res.Store = &store
+	fmt.Printf("store  n=%d cold=%8.3fs warm=%8.3fs speedup=%5.2fx (%d bytes on disk)\n",
+		store.Scenarios, store.ColdSeconds, store.StoreWarmSeconds, store.Speedup, store.StoreBytes)
 
 	blob, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -463,6 +490,89 @@ func runSaturationPanel(ctx context.Context) (saturStat, error) {
 		st.ShedRate = float64(st.Shed) / float64(offered)
 	}
 	return st, nil
+}
+
+// runStorePanel measures what the persistent plan store saves a
+// restarting daemon: time-to-all-answers for N distinct scenarios on a
+// cold boot (plan everything, write through to a fresh store) versus a
+// store-warm boot over the same directory (LoadStore, then the same N
+// requests as cache hits). The warm side counts the rehydration — the
+// boot-order work cmd/serve does before listening — not just the hits.
+func runStorePanel(ctx context.Context, workers int) (storeStat, error) {
+	const n = 24
+	families := []string{"genome", "montage", "ligo", "cybershake"}
+	scenarios := make([]hanccr.Scenario, n)
+	for i := range scenarios {
+		scenarios[i] = hanccr.NewScenario(
+			hanccr.WithFamily(families[i%len(families)]),
+			hanccr.WithTasks(300), hanccr.WithProcs(35),
+			hanccr.WithSeed(int64(1+i/len(families))),
+		)
+	}
+	dir, err := os.MkdirTemp("", "hanccr-store-panel-")
+	if err != nil {
+		return storeStat{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Untimed warm-up fills the process-wide generator memo so both
+	// boots measure planning/rehydration, not workflow generation.
+	for _, sc := range scenarios {
+		if _, err := hanccr.NewPlan(ctx, sc); err != nil {
+			return storeStat{}, err
+		}
+	}
+
+	serveAll := func(svc *hanccr.Service) error {
+		for _, sc := range scenarios {
+			if _, err := svc.Plan(ctx, sc); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	cold := hanccr.NewService(hanccr.WithStore(dir))
+	if err := cold.StoreErr(); err != nil {
+		return storeStat{}, err
+	}
+	start := time.Now()
+	if err := serveAll(cold); err != nil {
+		return storeStat{}, err
+	}
+	coldD := time.Since(start)
+	bytesOnDisk := cold.Stats().StoreBytes
+	if err := cold.CloseStore(); err != nil {
+		return storeStat{}, err
+	}
+
+	warm := hanccr.NewService(hanccr.WithStore(dir))
+	if err := warm.StoreErr(); err != nil {
+		return storeStat{}, err
+	}
+	defer warm.CloseStore()
+	start = time.Now()
+	loaded, dropped, err := warm.LoadStore(ctx, workers)
+	if err != nil {
+		return storeStat{}, err
+	}
+	if loaded != n || dropped != 0 {
+		return storeStat{}, fmt.Errorf("store-warm boot rehydrated (%d, %d dropped), want (%d, 0)", loaded, dropped, n)
+	}
+	if err := serveAll(warm); err != nil {
+		return storeStat{}, err
+	}
+	warmD := time.Since(start)
+	if st := warm.Stats(); st.Misses != 0 {
+		return storeStat{}, fmt.Errorf("store-warm boot re-ran the planner %d times, want 0", st.Misses)
+	}
+	return storeStat{
+		Scenarios:        n,
+		ColdSeconds:      coldD.Seconds(),
+		StoreWarmSeconds: warmD.Seconds(),
+		Speedup:          coldD.Seconds() / warmD.Seconds(),
+		StoreBytes:       bytesOnDisk,
+	}, nil
 }
 
 func fatal(err error) {

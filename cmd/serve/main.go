@@ -23,6 +23,14 @@
 // paths or peer replica URLs (their GET /v1/log) — so a fleet of
 // replicas behind cmd/hanccr-lb shares planning work without a shared
 // disk.
+// -store goes further than both: where warm/tail replay *inputs*
+// (scenarios re-planned at boot), the persistent plan store archives
+// *outputs* — solved plans written through to append-only segment
+// files as they are computed, rehydrated into the cache before the
+// warm replay runs, so a restart's first request for any known
+// scenario is a cache hit with zero planning. -store-verify
+// golden-checks every record read from disk against a freshly planned
+// reference; -store-compact paces the store's background compaction.
 // A sweep request with "stream":true (or Accept: application/x-ndjson)
 // is answered as NDJSON, one row per line flushed as it is computed;
 // streamed grids may hold up to -stream-cells cells (default 1M)
@@ -59,12 +67,32 @@ func main() {
 	sf := hanccr.BindServeFlags(flag.CommandLine)
 	flag.Parse()
 
-	svc := sf.Service()
+	svc, err := sf.Service(hanccr.WithServiceLogf(log.Printf))
+	if err != nil {
+		fatal(err)
+	}
+	// Boot order: rehydrate the persistent store first, then replay the
+	// warm log. Store records are *outputs* (no planning at all), warm
+	// lines are *inputs* (re-planned unless already resident) — loading
+	// the store first turns every known warm line into a cheap cache
+	// hit.
+	if sf.Store != "" {
+		start := time.Now()
+		loaded, dropped, err := svc.LoadStore(context.Background(), sf.WarmWorkers)
+		if err != nil {
+			fatal(fmt.Errorf("store %s: %w", sf.Store, err))
+		}
+		st := svc.Stats()
+		log.Printf("serve: store %s: rehydrated %d plans in %s (%d unusable records dropped; cache %d/%d, %d records / %d bytes on disk)",
+			sf.Store, loaded, time.Since(start).Truncate(time.Millisecond), dropped,
+			st.Entries, st.Capacity, st.StoreRecords, st.StoreBytes)
+	}
 	if sf.Warm != "" {
 		f, err := os.Open(sf.Warm)
 		if err != nil {
 			fatal(err)
 		}
+		pre := svc.Stats()
 		start := time.Now()
 		warmed, failed, err := svc.WarmFromLog(context.Background(), f, sf.WarmWorkers)
 		f.Close()
@@ -72,9 +100,16 @@ func main() {
 			fatal(fmt.Errorf("warm %s: %w", sf.Warm, err))
 		}
 		st := svc.Stats()
-		log.Printf("serve: warmed %d scenarios from %s in %s (%d failed; cache %d/%d, in-flight %d/%d, shed %d, deadline-expired %d)",
+		storeNote := ""
+		if sf.Store != "" {
+			// Replayed scenarios already resident count as hits — with a
+			// store loaded first, that is the replay work the store saved.
+			storeNote = fmt.Sprintf("; store %s: %d loaded at boot, %d warm lines skipped as already resident",
+				sf.Store, st.StoreLoads, st.Hits-pre.Hits)
+		}
+		log.Printf("serve: warmed %d scenarios from %s in %s (%d failed; cache %d/%d, in-flight %d/%d, shed %d, deadline-expired %d%s)",
 			warmed, sf.Warm, time.Since(start).Truncate(time.Millisecond), failed,
-			st.Entries, st.Capacity, st.InFlight, st.MaxInFlight, st.Shed, st.DeadlineExpired)
+			st.Entries, st.Capacity, st.InFlight, st.MaxInFlight, st.Shed, st.DeadlineExpired, storeNote)
 	}
 
 	handlerOpts := []hanccr.HandlerOption{
@@ -112,6 +147,27 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Periodic store compaction: the same threshold check Put applies
+	// on writes, re-run on a timer so a store that only ever loses
+	// records (drops, supersedes from -tail traffic) still gets
+	// compacted during quiet hours.
+	if sf.Store != "" && sf.StoreCompact > 0 {
+		go func() {
+			t := time.NewTicker(sf.StoreCompact)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if err := svc.CompactStore(); err != nil {
+						log.Printf("serve: store compaction: %v", err)
+					}
+				}
+			}
+		}()
+	}
 
 	// -tail: continuously absorb peer miss-logs (files or replica URLs)
 	// into this replica's cache beside live traffic. Each source gets
@@ -170,8 +226,11 @@ func main() {
 	if err := slog.Close(); err != nil {
 		fatal(fmt.Errorf("close %s: %w", sf.LogScenarios, err))
 	}
+	if err := svc.CloseStore(); err != nil {
+		fatal(fmt.Errorf("close store %s: %w", sf.Store, err))
+	}
 	st := svc.Stats()
-	log.Printf("serve: bye (%d cached plans, %d hits / %d misses)", st.Entries, st.Hits, st.Misses)
+	log.Printf("serve: bye (%d cached plans, %d hits / %d misses, %d store hits)", st.Entries, st.Hits, st.Misses, st.StoreHits)
 }
 
 // logRequests is a minimal access log: method, path, status, duration.

@@ -119,17 +119,21 @@ type ServeFlags struct {
 	MaxInFlight    int
 	RequestTimeout time.Duration
 	Tail           string
+	Store          string
+	StoreVerify    bool
+	StoreCompact   time.Duration
 }
 
 // BindServeFlags registers the daemon flags on fs and returns the
 // struct they parse into.
 func BindServeFlags(fs *flag.FlagSet) *ServeFlags {
 	f := &ServeFlags{
-		Addr:        ":8080",
-		Cache:       DefaultCacheCapacity,
-		Shards:      DefaultShards,
-		Drain:       10 * time.Second,
-		StreamCells: DefaultStreamSweepCells,
+		Addr:         ":8080",
+		Cache:        DefaultCacheCapacity,
+		Shards:       DefaultShards,
+		Drain:        10 * time.Second,
+		StreamCells:  DefaultStreamSweepCells,
+		StoreCompact: 5 * time.Minute,
 	}
 	fs.StringVar(&f.Addr, "addr", f.Addr, "listen address")
 	fs.IntVar(&f.Cache, "cache", f.Cache, "plan LRU capacity in scenarios, split across the shards")
@@ -142,6 +146,9 @@ func BindServeFlags(fs *flag.FlagSet) *ServeFlags {
 	fs.IntVar(&f.MaxInFlight, "max-inflight", 0, "admission bound: concurrently executing requests before the daemon sheds with 429 (0 = 16 x GOMAXPROCS)")
 	fs.DurationVar(&f.RequestTimeout, "request-timeout", 0, "server-side budget per admitted request; an expired budget answers 503 (0 = none)")
 	fs.StringVar(&f.Tail, "tail", "", "comma-separated miss-log sources to follow continuously: JSONL file paths or peer replica URLs (their GET /v1/log)")
+	fs.StringVar(&f.Store, "store", "", "persistent plan store directory: solved plans are written through to disk and rehydrated into the cache at boot (\"\" = memory only)")
+	fs.BoolVar(&f.StoreVerify, "store-verify", false, "store integrity mode: golden-check every record read from disk against a freshly planned reference before serving it (slow)")
+	fs.DurationVar(&f.StoreCompact, "store-compact", f.StoreCompact, "how often to check the plan store for compaction (0 disables the periodic check; the size-triggered check on writes always runs)")
 	return f
 }
 
@@ -199,12 +206,23 @@ func (f *LBFlags) Router(opts ...RouterOption) (*Router, error) {
 
 // Service builds the planner the parsed daemon flags describe.
 // MaxInFlight and RequestTimeout pass through the option guards, so
-// zero values keep the Service defaults.
-func (f *ServeFlags) Service() *Service {
-	return NewService(
+// zero values keep the Service defaults; extra options (e.g.
+// WithServiceLogf from the daemon) are applied after the flag-derived
+// ones. The error is a -store directory that could not be opened — a
+// daemon asked to persist plans must not silently run memory-only.
+func (f *ServeFlags) Service(extra ...ServiceOption) (*Service, error) {
+	opts := []ServiceOption{
 		WithCacheCapacity(f.Cache), WithShards(f.Shards),
 		WithMaxInFlight(f.MaxInFlight), WithRequestTimeout(f.RequestTimeout),
-	)
+	}
+	if f.Store != "" {
+		opts = append(opts, WithStore(f.Store))
+		if f.StoreVerify {
+			opts = append(opts, WithStoreVerify())
+		}
+	}
+	s := NewService(append(opts, extra...)...)
+	return s, s.StoreErr()
 }
 
 // Scenario builds and validates the scenario the parsed flags

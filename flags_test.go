@@ -4,6 +4,7 @@ import (
 	"flag"
 	"io"
 	"testing"
+	"time"
 )
 
 // TestScenarioFlagsDefaultsMatchNewScenario pins the anti-drift
@@ -62,24 +63,35 @@ func TestBindServeFlagsDefaults(t *testing.T) {
 		sf.Warm != "" || sf.LogScenarios != "" || sf.WarmWorkers != 0 {
 		t.Fatalf("serve defaults = %+v", sf)
 	}
-	if st := sf.Service().Stats(); st.Shards != DefaultShards || st.Capacity < DefaultCacheCapacity {
+	svc, err := sf.Service()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Stats(); st.Shards != DefaultShards || st.Capacity < DefaultCacheCapacity {
 		t.Fatalf("default service stats = %+v", st)
 	}
 
 	fs = flag.NewFlagSet("serve", flag.ContinueOnError)
 	sf = BindServeFlags(fs)
-	err := fs.Parse([]string{
+	err = fs.Parse([]string{
 		"-addr", ":9090", "-cache", "64", "-shards", "4",
 		"-warm", "w.jsonl", "-log-scenarios", "s.jsonl", "-warm-workers", "2",
+		"-store", t.TempDir(), "-store-verify", "-store-compact", "30s",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sf.Addr != ":9090" || sf.Cache != 64 || sf.Shards != 4 ||
-		sf.Warm != "w.jsonl" || sf.LogScenarios != "s.jsonl" || sf.WarmWorkers != 2 {
+		sf.Warm != "w.jsonl" || sf.LogScenarios != "s.jsonl" || sf.WarmWorkers != 2 ||
+		sf.Store == "" || !sf.StoreVerify || sf.StoreCompact != 30*time.Second {
 		t.Fatalf("parsed serve flags = %+v", sf)
 	}
-	if st := sf.Service().Stats(); st.Shards != 4 || st.Capacity != 64 {
+	svc, err = sf.Service()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.CloseStore()
+	if st := svc.Stats(); st.Shards != 4 || st.Capacity != 64 {
 		t.Fatalf("parsed service stats = %+v", st)
 	}
 }

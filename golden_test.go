@@ -157,6 +157,54 @@ func TestGoldenAccuracyTable(t *testing.T) {
 	})
 }
 
+// TestGoldenScenarioKeys pins Scenario.Key()'s wire format. The key is
+// the persistent plan store's index, every cache shard's lookup key and
+// the router's hash input — a silent change to the hash preimage
+// orphans every record on disk and splits fleets mid-upgrade. Rows
+// cover the default scenario, each family, explicit float knobs (whose
+// bit patterns are part of the preimage), every strategy, the exact
+// cost model, ragged generation, and injected json/dax documents
+// (length-prefixed in the preimage).
+func TestGoldenScenarioKeys(t *testing.T) {
+	type keyRow struct {
+		Name string `json:"name"`
+		Key  string `json:"key"`
+	}
+	scenarios := []struct {
+		name string
+		sc   Scenario
+	}{
+		{"defaults", NewScenario()},
+		{"family-montage", NewScenario(WithFamily("montage"))},
+		{"family-ligo", NewScenario(WithFamily("ligo"))},
+		{"family-cybershake", NewScenario(WithFamily("cybershake"))},
+		{"size-procs", NewScenario(WithTasks(50), WithProcs(5))},
+		{"float-knobs", NewScenario(WithPFail(0.01), WithCCR(0.5), WithBandwidth(2e8))},
+		{"seed", NewScenario(WithSeed(7))},
+		{"strategy-all", NewScenario(WithStrategy(CkptAll))},
+		{"strategy-none", NewScenario(WithStrategy(CkptNone))},
+		{"strategy-exit", NewScenario(WithStrategy(ExitOnly))},
+		{"exact-model", NewScenario(WithExactCostModel())},
+		{"ragged-ligo", NewScenario(WithFamily("ligo"), WithRagged(true))},
+		{"injected-json", NewScenario(WithWorkflow("inline", "json",
+			[]byte(`{"tasks":[{"id":0,"work":1}]}`)), WithProcs(3))},
+		{"injected-dax", NewScenario(WithWorkflow("inline", "dax",
+			[]byte(`<adag></adag>`)), WithProcs(3))},
+	}
+	rows := make([]keyRow, len(scenarios))
+	for i, s := range scenarios {
+		rows[i] = keyRow{Name: s.name, Key: s.sc.Key()}
+	}
+	goldenCompare(t, "keys.json", rows, func(got, want keyRow) string {
+		if got != want {
+			return fmt.Sprintf("key %s = %s, want %s (Scenario.Key preimage changed: "+
+				"existing plan-store records and fleet routing keys are invalidated)",
+				got.Name, got.Key, want.Key)
+		}
+		return ""
+	})
+}
+
 // TestGoldenSimCheck pins the analytic-vs-DES cross-validation rows
 // (all three strategies) for two families.
 func TestGoldenSimCheck(t *testing.T) {

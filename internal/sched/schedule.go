@@ -69,6 +69,40 @@ func (s *Schedule) addSuperchain(proc int, tasks []wfdag.TaskID) *Superchain {
 	return sc
 }
 
+// Rebuild reconstructs a Schedule from its serialized shape — the
+// per-superchain processor assignment and task order — without
+// re-running Algorithm 1. It is the persistent plan store's decode
+// path: the store archives exactly (proc, tasks) per superchain, and
+// Rebuild re-derives every piece of private bookkeeping from that,
+// then re-checks the full set of schedule invariants with Validate
+// because the input is an untrusted disk record.
+func Rebuild(w *mspg.Workflow, p platform.Platform, procs []int, chains [][]wfdag.TaskID) (*Schedule, error) {
+	if len(procs) != len(chains) {
+		return nil, fmt.Errorf("sched: rebuild: %d processor assignments for %d superchains", len(procs), len(chains))
+	}
+	s := newSchedule(w, p)
+	n := w.G.NumTasks()
+	for i, tasks := range chains {
+		proc := procs[i]
+		if proc < 0 || proc >= p.Processors {
+			return nil, fmt.Errorf("sched: rebuild: superchain %d on invalid processor %d", i, proc)
+		}
+		for _, t := range tasks {
+			if int(t) < 0 || int(t) >= n {
+				return nil, fmt.Errorf("sched: rebuild: superchain %d references unknown task %d", i, t)
+			}
+			if s.procOf[t] != -1 {
+				return nil, fmt.Errorf("sched: rebuild: task %d assigned twice", t)
+			}
+		}
+		s.addSuperchain(proc, tasks)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: rebuild: %w", err)
+	}
+	return s, nil
+}
+
 // Proc returns the processor executing task t.
 func (s *Schedule) Proc(t wfdag.TaskID) int { return s.procOf[t] }
 

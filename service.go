@@ -73,6 +73,22 @@ type Service struct {
 	// planner computes a cold plan (NewPlan unless WithPlanner
 	// injected a test/fault-injection seam).
 	planner func(ctx context.Context, sc Scenario) (*Plan, error)
+
+	// store is the optional persistent write-through layer under the
+	// LRU (WithStore / WithPlanStore); storeErr holds a deferred
+	// WithStore open failure. storeHits counts plans served from disk
+	// on the request path (instead of a planner run), storeLoads plans
+	// rehydrated at boot by LoadStore. storeVerify enables the
+	// golden-check integrity mode (WithStoreVerify).
+	store       *PlanStore
+	storeErr    error
+	storeVerify bool
+	storeHits   atomic.Uint64
+	storeLoads  atomic.Uint64
+
+	// logf receives operational diagnostics (store recovery, dropped
+	// records); a no-op unless WithServiceLogf is set.
+	logf func(string, ...any)
 }
 
 // shard is one lock domain of the plan LRU.
@@ -105,6 +121,10 @@ type serviceConfig struct {
 	maxInFlight int
 	timeout     time.Duration
 	planner     func(ctx context.Context, sc Scenario) (*Plan, error)
+	storeDir    string
+	store       *PlanStore
+	storeVerify bool
+	logf        func(string, ...any)
 }
 
 // WithCacheCapacity bounds the plan LRU (minimum 1; default
@@ -166,6 +186,52 @@ func WithPlanner(fn func(ctx context.Context, sc Scenario) (*Plan, error)) Servi
 	}
 }
 
+// WithStore attaches a persistent plan store rooted at dir: every
+// planner miss writes its solved plan through to disk, and a request
+// whose key is neither in the LRU nor in flight is answered from the
+// store (rehydrated into the LRU) before the planner is consulted.
+// Call LoadStore at boot to rehydrate everything eagerly. An open
+// failure is deferred to StoreErr/LoadStore so NewService's signature
+// stays error-free.
+func WithStore(dir string) ServiceOption {
+	return func(c *serviceConfig) {
+		if dir != "" {
+			c.storeDir = dir
+		}
+	}
+}
+
+// WithPlanStore attaches an already-open PlanStore (for tuned segment
+// or compaction thresholds; see OpenPlanStore). It takes precedence
+// over WithStore. The Service adopts the store: CloseStore closes it.
+func WithPlanStore(st *PlanStore) ServiceOption {
+	return func(c *serviceConfig) {
+		if st != nil {
+			c.store = st
+		}
+	}
+}
+
+// WithStoreVerify enables the store's integrity mode: every record
+// read from disk is golden-checked byte-for-byte against a freshly
+// planned reference before it is served, so silent corruption that
+// passes the structural decode checks is still caught. It costs a full
+// planner run per load — an audit mode, not a fast path.
+func WithStoreVerify() ServiceOption {
+	return func(c *serviceConfig) { c.storeVerify = true }
+}
+
+// WithServiceLogf routes the Service's operational diagnostics —
+// store recovery, dropped records, write-through failures — to fn
+// (discarded by default).
+func WithServiceLogf(fn func(string, ...any)) ServiceOption {
+	return func(c *serviceConfig) {
+		if fn != nil {
+			c.logf = fn
+		}
+	}
+}
+
 // NewService returns a ready-to-use planner.
 func NewService(opts ...ServiceOption) *Service {
 	cfg := serviceConfig{
@@ -186,6 +252,22 @@ func NewService(opts ...ServiceOption) *Service {
 		maxInFlight: int64(cfg.maxInFlight),
 		timeout:     cfg.timeout,
 		planner:     cfg.planner,
+		storeVerify: cfg.storeVerify,
+		logf:        cfg.logf,
+	}
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+	switch {
+	case cfg.store != nil:
+		s.store = cfg.store
+	case cfg.storeDir != "":
+		st, err := OpenPlanStore(cfg.storeDir, WithStoreLogf(s.logf))
+		if err != nil {
+			s.storeErr = fmt.Errorf("open plan store %s: %w", cfg.storeDir, err)
+		} else {
+			s.store = st
+		}
 	}
 	for i := range s.shards {
 		s.shards[i] = &shard{
@@ -299,6 +381,17 @@ type Stats struct {
 	MaxInFlight     int    `json:"max_inflight"`
 	Shed            uint64 `json:"shed"`
 	DeadlineExpired uint64 `json:"deadline_expired"`
+	// StoreHits counts plans served from the persistent store on the
+	// request path (a planner run avoided after an eviction or on a
+	// fresh replica); StoreLoads plans rehydrated eagerly at boot by
+	// LoadStore. StoreRecords/StoreBytes describe the store's on-disk
+	// state and Compactions its rewrite passes. All zero without
+	// WithStore.
+	StoreHits    uint64 `json:"store_hits"`
+	StoreLoads   uint64 `json:"store_loads"`
+	StoreRecords int    `json:"store_records"`
+	StoreBytes   int64  `json:"store_bytes"`
+	Compactions  uint64 `json:"compactions"`
 }
 
 // Stats returns the cache counters summed over every shard (Capacity
@@ -310,6 +403,13 @@ func (s *Service) Stats() Stats {
 		MaxInFlight:     int(s.maxInFlight),
 		Shed:            s.shed.Load(),
 		DeadlineExpired: s.expired.Load(),
+		StoreHits:       s.storeHits.Load(),
+		StoreLoads:      s.storeLoads.Load(),
+	}
+	if s.store != nil {
+		st.StoreRecords = s.store.Records()
+		st.StoreBytes = s.store.Bytes()
+		st.Compactions = s.store.Compactions()
 	}
 	if in := s.inflight.Load(); in > 0 {
 		st.InFlight = int(in)
@@ -406,13 +506,28 @@ func (s *Service) planForKey(ctx context.Context, sc Scenario, key string) (*Pla
 		} else {
 			e = &cacheEntry{key: key}
 			sh.entries[key] = sh.order.PushFront(e)
-			sh.misses++
 			sh.evictLocked()
 		}
 		sh.mu.Unlock()
 
 		e.once.Do(func() {
-			e.plan, e.err = s.planner(ctx, sc)
+			// Try the persistent store before paying for a planner run:
+			// an evicted (or restart-lost) plan rehydrates from disk as a
+			// store hit, and only a genuinely unknown scenario counts as
+			// a miss. The write-through on success is what fills the
+			// store in the first place.
+			if p, ok := s.storeLoad(ctx, key); ok {
+				s.storeHits.Add(1)
+				e.plan = p
+			} else {
+				sh.mu.Lock()
+				sh.misses++
+				sh.mu.Unlock()
+				e.plan, e.err = s.planner(ctx, sc)
+				if e.err == nil {
+					s.storePut(key, e.plan)
+				}
+			}
 			e.done.Store(true)
 		})
 		if e.err == nil {
@@ -544,7 +659,10 @@ func (s *Service) lookupAll(keys []string) ([]*Plan, bool) {
 
 // seed inserts an already-computed plan under key, unless an entry for
 // the key exists (a racing in-flight computation keeps its waiters).
+// The plan was computed by this call, so it counts as a miss and is
+// written through to the store like any other planner result.
 func (s *Service) seed(key string, p *Plan) {
+	s.storePut(key, p)
 	e := &cacheEntry{key: key, plan: p}
 	e.once.Do(func() {})
 	e.done.Store(true)
@@ -557,4 +675,23 @@ func (s *Service) seed(key string, p *Plan) {
 	sh.entries[key] = sh.order.PushFront(e)
 	sh.misses++
 	sh.evictLocked()
+}
+
+// place inserts a plan rehydrated from the persistent store without
+// touching the hit/miss counters — a boot-time load is neither served
+// traffic nor a planner run. It reports whether the plan became
+// resident (false when the key already has an entry).
+func (s *Service) place(key string, p *Plan) bool {
+	e := &cacheEntry{key: key, plan: p}
+	e.once.Do(func() {})
+	e.done.Store(true)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.entries[key]; ok {
+		return false
+	}
+	sh.entries[key] = sh.order.PushFront(e)
+	sh.evictLocked()
+	return true
 }
