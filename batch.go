@@ -40,8 +40,11 @@ type JobResult struct {
 	Kind JobKind
 	// Key is the canonical scenario hash (empty when validation failed).
 	Key string
-	// Hit reports whether the plan was already resident in the cache.
-	Hit bool
+	// Outcome reports how the cache answered (hit, structure-hit or
+	// miss); Hit is its two-valued projection, kept for callers of the
+	// pre-split API.
+	Outcome CacheOutcome
+	Hit     bool
 	// Plan is the solved plan (all kinds plan first).
 	Plan *Plan
 	// Estimate is the expected makespan of a JobEstimate.
@@ -98,11 +101,12 @@ func (s *Service) runJob(ctx context.Context, j Job) JobResult {
 	r.Key = j.Scenario.Key()
 	switch j.Kind {
 	case JobEstimate:
-		r.Plan, r.Estimate, r.Hit, r.Err = s.estimateForKey(ctx, j.Scenario, r.Key, j.Method, j.EstimateOptions...)
+		r.Plan, r.Estimate, r.Outcome, r.Err = s.estimateForKey(ctx, j.Scenario, r.Key, j.Method, j.EstimateOptions...)
 	case JobSimulate:
-		r.Plan, r.Sim, r.Hit, r.Err = s.simulateForKey(ctx, j.Scenario, r.Key, j.SimOptions...)
+		r.Plan, r.Sim, r.Outcome, r.Err = s.simulateForKey(ctx, j.Scenario, r.Key, j.SimOptions...)
 	default:
-		r.Plan, r.Hit, r.Err = s.planGated(ctx, j.Scenario, r.Key)
+		r.Plan, r.Outcome, r.Err = s.planGated(ctx, j.Scenario, r.Key)
 	}
+	r.Hit = r.Outcome.Hit()
 	return r
 }

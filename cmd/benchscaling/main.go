@@ -9,10 +9,15 @@
 //
 //	benchscaling -out scaling.json -reps 3 -min-speedup 1.0
 //
-// Every measured workload is bit-identical across worker counts (that
-// is pinned by the test suite); this tool only measures time. On a
-// single-core host the gate is skipped (speedups are reported for the
-// record but prove nothing there).
+// Beside the worker-scaling panels it measures the streamed-vs-buffered
+// sweep memory split, the overload gate under saturation, the
+// persistent-store warm-boot ratio, and the near-duplicate fast path
+// (a batch of parameter variants of one structure versus an equal batch
+// of cold structures; on multicore the variant batch must beat the cold
+// one or the tool fails). Every measured workload is bit-identical
+// across worker counts (that is pinned by the test suite); this tool
+// only measures time. On a single-core host the gate is skipped
+// (speedups are reported for the record but prove nothing there).
 package main
 
 import (
@@ -44,6 +49,26 @@ type result struct {
 	SweepStream []streamStat `json:"sweep_stream"`
 	Saturation  *saturStat   `json:"saturation,omitempty"`
 	Store       *storeStat   `json:"store,omitempty"`
+	NearDup     *nearDupStat `json:"near_dup,omitempty"`
+}
+
+// nearDupStat is the near-duplicate fast-path panel: wall clock for a
+// batch of N plans that are parameter variants of ONE structure (the
+// scaffold is built once, N-1 requests take the structure-hit path)
+// versus a batch of N plans over N distinct structures (every request
+// materializes and schedules from scratch). Same batch size, same
+// worker count, fresh service per side — the ratio is what the
+// two-level key split buys a sweep-shaped workload. Answers are
+// bit-identical either way (pinned by the test suite); this panel only
+// measures time, but it hard-fails if the structure-hit counters show
+// the fast path did not actually engage.
+type nearDupStat struct {
+	Structures     int     `json:"structures"`
+	Variants       int     `json:"variants"`
+	ColdSeconds    float64 `json:"cold_seconds"`
+	NearDupSeconds float64 `json:"near_dup_seconds"`
+	Speedup        float64 `json:"speedup"`
+	StructureHits  uint64  `json:"structure_hits"`
 }
 
 // storeStat is the persistent-plan-store panel: wall clock from service
@@ -201,6 +226,24 @@ func main() {
 	res.Store = &store
 	fmt.Printf("store  n=%d cold=%8.3fs warm=%8.3fs speedup=%5.2fx (%d bytes on disk)\n",
 		store.Scenarios, store.ColdSeconds, store.StoreWarmSeconds, store.Speedup, store.StoreBytes)
+
+	// Near-duplicate panel: speedup-gated on multicore like the scaling
+	// panels — if a batch of parameter variants is not faster than the
+	// same-sized batch of cold structures, the scaffold cache has
+	// regressed into overhead.
+	nearDup, err := runNearDupPanel(ctx, ncpu, *reps)
+	if err != nil {
+		fatal(fmt.Errorf("near-dup: %w", err))
+	}
+	res.NearDup = &nearDup
+	verdict := "ok"
+	if res.Gated && nearDup.Speedup < *minSpeedup {
+		verdict = fmt.Sprintf("FAIL (< %.2f)", *minSpeedup)
+		failed = true
+	}
+	fmt.Printf("neardup n=%dx%d cold=%8.3fs neardup=%8.3fs speedup=%5.2fx (%d structure hits)  %s\n",
+		nearDup.Structures, nearDup.Variants, nearDup.ColdSeconds, nearDup.NearDupSeconds,
+		nearDup.Speedup, nearDup.StructureHits, verdict)
 
 	blob, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -573,6 +616,84 @@ func runStorePanel(ctx context.Context, workers int) (storeStat, error) {
 		Speedup:          coldD.Seconds() / warmD.Seconds(),
 		StoreBytes:       bytesOnDisk,
 	}, nil
+}
+
+// runNearDupPanel times a 32-plan batch of parameter variants of one
+// structure (one seed, a grid of pfail/ccr/strategy tails) against a
+// 32-plan batch of distinct structures (32 seeds, one parameter point
+// each), best-of-reps, fresh service per run. An untimed warm-up fills
+// the process-wide generator memo first, so both sides measure
+// scheduling + the planning tail rather than workflow generation — the
+// exact work the scaffold cache is supposed to split.
+func runNearDupPanel(ctx context.Context, workers, reps int) (nearDupStat, error) {
+	const n = 32
+	strategies := []hanccr.Strategy{hanccr.CkptSome, hanccr.CkptAll, hanccr.CkptNone}
+	cold := make([]hanccr.Job, n)
+	near := make([]hanccr.Job, n)
+	for i := 0; i < n; i++ {
+		cold[i] = hanccr.Job{Kind: hanccr.JobPlan, Scenario: hanccr.NewScenario(
+			hanccr.WithFamily("genome"), hanccr.WithTasks(300), hanccr.WithProcs(35),
+			hanccr.WithSeed(int64(1+i)),
+		)}
+		near[i] = hanccr.Job{Kind: hanccr.JobPlan, Scenario: hanccr.NewScenario(
+			hanccr.WithFamily("genome"), hanccr.WithTasks(300), hanccr.WithProcs(35),
+			hanccr.WithSeed(1),
+			hanccr.WithPFail(0.0001*float64(1+i%8)), hanccr.WithCCR(0.01*float64(1+i/8)),
+			hanccr.WithStrategy(strategies[i%len(strategies)]),
+		)}
+	}
+	runSide := func(jobs []hanccr.Job) (*hanccr.Service, error) {
+		svc := hanccr.NewService(hanccr.WithShards(16))
+		results, err := svc.Batch(ctx, jobs, hanccr.WithBatchWorkers(workers))
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				return nil, fmt.Errorf("job %d: %w", i, r.Err)
+			}
+		}
+		return svc, nil
+	}
+	// Untimed warm-up (also sanity-checks both sides complete).
+	for _, jobs := range [][]hanccr.Job{cold, near} {
+		if _, err := runSide(jobs); err != nil {
+			return nearDupStat{}, err
+		}
+	}
+	st := nearDupStat{Structures: n, Variants: n}
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		svc, err := runSide(cold)
+		if err != nil {
+			return nearDupStat{}, err
+		}
+		if d := time.Since(start).Seconds(); st.ColdSeconds == 0 || d < st.ColdSeconds {
+			st.ColdSeconds = d
+		}
+		if hits := svc.Stats().StructureHits; hits != 0 {
+			return nearDupStat{}, fmt.Errorf("cold side recorded %d structure hits over distinct structures, want 0", hits)
+		}
+		start = time.Now()
+		svc, err = runSide(near)
+		if err != nil {
+			return nearDupStat{}, err
+		}
+		if d := time.Since(start).Seconds(); st.NearDupSeconds == 0 || d < st.NearDupSeconds {
+			st.NearDupSeconds = d
+		}
+		// Every key is unique, so exactly one request per structure built
+		// the scaffold; the other n-1 must have taken the fast path —
+		// whatever the worker interleaving.
+		stats := svc.Stats()
+		if stats.StructureHits != n-1 || stats.Misses != n {
+			return nearDupStat{}, fmt.Errorf("near-dup side: %d structure hits / %d misses, want %d / %d",
+				stats.StructureHits, stats.Misses, n-1, n)
+		}
+		st.StructureHits = stats.StructureHits
+	}
+	st.Speedup = st.ColdSeconds / st.NearDupSeconds
+	return st, nil
 }
 
 func fatal(err error) {

@@ -30,7 +30,15 @@ func main() {
 	flag.Parse()
 	ctx := context.Background()
 
-	sc, err := sf.Scenario(hanccr.WithStrategy(hanccr.Strategy(*strategy)))
+	st, err := hanccr.ParseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := hanccr.ParseMethod(*estimator)
+	if err != nil {
+		fatal(err)
+	}
+	sc, err := sf.Scenario(hanccr.WithStrategy(st))
 	if err != nil {
 		fatal(err)
 	}
@@ -38,7 +46,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	methods := []hanccr.Method{hanccr.Method(*estimator)}
+	methods := []hanccr.Method{m}
 	if *all && sc.Strategy() != hanccr.CkptNone {
 		methods = hanccr.Methods()
 	}

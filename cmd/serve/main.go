@@ -71,6 +71,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if sf.StructureCache > 0 {
+		log.Printf("serve: near-duplicate fast path on: structure-scaffold cache holds %d structures (X-Cache: structure-hit; disable with -structure-cache 0)",
+			svc.Stats().StructureCapacity)
+	} else {
+		log.Printf("serve: near-duplicate fast path off (-structure-cache 0): every cold plan runs the full pipeline")
+	}
 	// Boot order: rehydrate the persistent store first, then replay the
 	// warm log. Store records are *outputs* (no planning at all), warm
 	// lines are *inputs* (re-planned unless already resident) — loading

@@ -111,6 +111,7 @@ type ServeFlags struct {
 	Addr           string
 	Cache          int
 	Shards         int
+	StructureCache int
 	Drain          time.Duration
 	Warm           string
 	LogScenarios   string
@@ -128,16 +129,18 @@ type ServeFlags struct {
 // struct they parse into.
 func BindServeFlags(fs *flag.FlagSet) *ServeFlags {
 	f := &ServeFlags{
-		Addr:         ":8080",
-		Cache:        DefaultCacheCapacity,
-		Shards:       DefaultShards,
-		Drain:        10 * time.Second,
-		StreamCells:  DefaultStreamSweepCells,
-		StoreCompact: 5 * time.Minute,
+		Addr:           ":8080",
+		Cache:          DefaultCacheCapacity,
+		Shards:         DefaultShards,
+		StructureCache: DefaultStructureCacheCapacity,
+		Drain:          10 * time.Second,
+		StreamCells:    DefaultStreamSweepCells,
+		StoreCompact:   5 * time.Minute,
 	}
 	fs.StringVar(&f.Addr, "addr", f.Addr, "listen address")
 	fs.IntVar(&f.Cache, "cache", f.Cache, "plan LRU capacity in scenarios, split across the shards")
 	fs.IntVar(&f.Shards, "shards", f.Shards, "plan cache shard count (1 = a single global LRU)")
+	fs.IntVar(&f.StructureCache, "structure-cache", f.StructureCache, "structure-scaffold cache capacity for the near-duplicate fast path (0 disables it)")
 	fs.DurationVar(&f.Drain, "drain", f.Drain, "graceful shutdown timeout")
 	fs.StringVar(&f.Warm, "warm", "", "JSONL scenario log to replay through the cache at boot")
 	fs.StringVar(&f.LogScenarios, "log-scenarios", "", "append live scenario traffic to this JSONL file (feed it back via -warm)")
@@ -213,6 +216,7 @@ func (f *LBFlags) Router(opts ...RouterOption) (*Router, error) {
 func (f *ServeFlags) Service(extra ...ServiceOption) (*Service, error) {
 	opts := []ServiceOption{
 		WithCacheCapacity(f.Cache), WithShards(f.Shards),
+		WithStructureCache(f.StructureCache),
 		WithMaxInFlight(f.MaxInFlight), WithRequestTimeout(f.RequestTimeout),
 	}
 	if f.Store != "" {

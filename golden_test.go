@@ -190,6 +190,14 @@ func TestGoldenScenarioKeys(t *testing.T) {
 			[]byte(`{"tasks":[{"id":0,"work":1}]}`)), WithProcs(3))},
 		{"injected-dax", NewScenario(WithWorkflow("inline", "dax",
 			[]byte(`<adag></adag>`)), WithProcs(3))},
+		{"injected-named", NewScenario(WithWorkflow("named-upload", "json",
+			[]byte(`{"tasks":[{"id":0,"work":1}]}`)), WithProcs(3))},
+		// A format outside the closed json/dax set is only representable
+		// by hand (WithWorkflow rejects it), but its preimage encoding —
+		// length-prefixed, unlike the two historical bare spellings — is
+		// wire format too: this row pins it so a future format cannot
+		// silently land unprefixed and reopen the boundary-collision hole.
+		{"injected-exotic-format", exoticFormatScenario()},
 	}
 	rows := make([]keyRow, len(scenarios))
 	for i, s := range scenarios {
@@ -203,6 +211,17 @@ func TestGoldenScenarioKeys(t *testing.T) {
 		}
 		return ""
 	})
+}
+
+// exoticFormatScenario hand-builds the one injected-workflow shape the
+// constructors cannot: a format value outside the closed json/dax set,
+// exercising Key()'s length-prefixed format encoding.
+func exoticFormatScenario() Scenario {
+	sc := NewScenario(WithProcs(3))
+	sc.source = "inline"
+	sc.format = "msgpack"
+	sc.graph = []byte(`{"tasks":[{"id":0,"work":1}]}`)
+	return sc
 }
 
 // TestGoldenSimCheck pins the analytic-vs-DES cross-validation rows

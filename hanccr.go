@@ -29,6 +29,8 @@ package hanccr
 
 import (
 	"errors"
+	"fmt"
+	"strings"
 
 	"repro/internal/dist"
 )
@@ -117,6 +119,31 @@ func ExitCode(err error) int {
 
 // Methods lists the supported estimation methods.
 func Methods() []Method { return []Method{PathApprox, MonteCarlo, Normal, Dodin} }
+
+// ParseMethod resolves a method name to its canonical Method value,
+// case-insensitively ("montecarlo" and "MonteCarlo" are the same
+// estimator). It is the one name-to-Method conversion every wire and
+// CLI entry point shares; an unknown name returns ErrUnknownMethod.
+func ParseMethod(name string) (Method, error) {
+	for _, m := range Methods() {
+		if strings.EqualFold(name, string(m)) {
+			return m, nil
+		}
+	}
+	return "", fmt.Errorf("%w: %q (have %v)", ErrUnknownMethod, name, Methods())
+}
+
+// ParseStrategy resolves a strategy name to its canonical Strategy
+// value, case-insensitively ("ckptsome" and "CkptSome" are the same
+// policy). An unknown name returns ErrUnknownStrategy.
+func ParseStrategy(name string) (Strategy, error) {
+	for _, st := range Strategies() {
+		if strings.EqualFold(name, string(st)) {
+			return st, nil
+		}
+	}
+	return "", fmt.Errorf("%w: %q (have %v)", ErrUnknownStrategy, name, Strategies())
+}
 
 // Strategies lists the supported checkpoint strategies.
 func Strategies() []Strategy { return []Strategy{CkptSome, CkptAll, CkptNone, ExitOnly} }

@@ -176,6 +176,92 @@ type HealthResponse struct {
 	Cache  Stats  `json:"cache"`
 }
 
+// StatsSchemaVersion identifies the GET /v1/stats JSON layout. Version
+// 2 introduced the nested cache / structure_cache / store / gate
+// groups; the flat v1 keys are still emitted alongside for one release
+// (see StatsResponse) and will be dropped at version 3.
+const StatsSchemaVersion = 2
+
+// CacheGroup is the plan-LRU section of GET /v1/stats.
+type CacheGroup struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
+	Shards   int    `json:"shards"`
+}
+
+// StructureCacheGroup is the scaffold-cache section of GET /v1/stats.
+// Enabled is false when the near-duplicate fast path is off
+// (-structure-cache 0 or a custom planner), in which case every
+// counter is zero.
+type StructureCacheGroup struct {
+	Enabled  bool   `json:"enabled"`
+	Hits     uint64 `json:"hits"`
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
+}
+
+// StoreGroup is the persistent-plan-store section of GET /v1/stats
+// (all zero without -store).
+type StoreGroup struct {
+	Hits        uint64 `json:"hits"`
+	Loads       uint64 `json:"loads"`
+	Records     int    `json:"records"`
+	Bytes       int64  `json:"bytes"`
+	Compactions uint64 `json:"compactions"`
+}
+
+// GateGroup is the admission-gate section of GET /v1/stats.
+type GateGroup struct {
+	InFlight        int    `json:"in_flight"`
+	MaxInFlight     int    `json:"max_inflight"`
+	Shed            uint64 `json:"shed"`
+	DeadlineExpired uint64 `json:"deadline_expired"`
+}
+
+// StatsResponse is the body of GET /v1/stats: the schema version, the
+// counters grouped by subsystem, and — embedded — the flat legacy
+// keys ("hits", "store_bytes", ...) exactly as version 1 emitted them.
+// The flat keys are DEPRECATED: they remain for one release so
+// dashboards can migrate to the groups, then only the groups stay
+// (/healthz keeps the flat Stats under "cache" either way).
+type StatsResponse struct {
+	SchemaVersion  int                 `json:"schema_version"`
+	Cache          CacheGroup          `json:"cache"`
+	StructureCache StructureCacheGroup `json:"structure_cache"`
+	Store          StoreGroup          `json:"store"`
+	Gate           GateGroup           `json:"gate"`
+
+	Stats // flat legacy keys, deprecated
+}
+
+// statsResponse regroups a flat Stats snapshot into the versioned
+// /v1/stats layout.
+func statsResponse(st Stats) StatsResponse {
+	return StatsResponse{
+		SchemaVersion: StatsSchemaVersion,
+		Cache: CacheGroup{
+			Hits: st.Hits, Misses: st.Misses,
+			Entries: st.Entries, Capacity: st.Capacity, Shards: st.Shards,
+		},
+		StructureCache: StructureCacheGroup{
+			Enabled: st.StructureCapacity > 0,
+			Hits:    st.StructureHits,
+			Entries: st.StructureEntries, Capacity: st.StructureCapacity,
+		},
+		Store: StoreGroup{
+			Hits: st.StoreHits, Loads: st.StoreLoads,
+			Records: st.StoreRecords, Bytes: st.StoreBytes, Compactions: st.Compactions,
+		},
+		Gate: GateGroup{
+			InFlight: st.InFlight, MaxInFlight: st.MaxInFlight,
+			Shed: st.Shed, DeadlineExpired: st.DeadlineExpired,
+		},
+		Stats: st,
+	}
+}
+
 // maxRequestBody bounds /v1 request bodies (workflow documents
 // included) to keep a misbehaving client from exhausting memory.
 const maxRequestBody = 16 << 20
@@ -299,10 +385,13 @@ func WithStreamSweepCellCap(n int) HandlerOption {
 //	GET  /v1/log       — the replica's miss-log as NDJSON (?offset=N&follow=1), for peer tailing
 //
 // Responses are deterministic functions of the request, so a cache hit
-// is byte-identical to the cold miss that filled it; the X-Cache
-// response header (hit | miss, single-scenario endpoints only) is the
-// only difference. Batch results and sweep rows are collected by index
-// and therefore byte-identical for every worker count.
+// is byte-identical to the cold miss that filled it — and so is a
+// structure-hit, which reuses the scenario's cached workflow/schedule
+// scaffold and re-runs only the parameter-dependent planning tail. The
+// X-Cache response header (hit | structure-hit | miss, single-scenario
+// endpoints only) is the only difference. Batch results and sweep rows
+// are collected by index and therefore byte-identical for every worker
+// count.
 func NewHandler(svc *Service, opts ...HandlerOption) http.Handler {
 	cfg := handlerConfig{
 		logf:        func(string, ...any) {},
@@ -324,7 +413,7 @@ func NewHandler(svc *Service, opts ...HandlerOption) http.Handler {
 		if !cfg.requireGet(w, r) {
 			return
 		}
-		cfg.writeJSON(w, http.StatusOK, svc.Stats())
+		cfg.writeJSON(w, http.StatusOK, statsResponse(svc.Stats()))
 	})
 	mux.HandleFunc("/v1/log", func(w http.ResponseWriter, r *http.Request) {
 		if !cfg.requireGet(w, r) {
@@ -338,13 +427,13 @@ func NewHandler(svc *Service, opts ...HandlerOption) http.Handler {
 			return
 		}
 		sc := req.Scenario()
-		plan, key, hit, err := planOnce(r.Context(), svc, sc)
+		plan, key, outcome, err := planOnce(r.Context(), svc, sc)
 		if err != nil {
 			cfg.writeError(w, r, err)
 			return
 		}
-		cfg.record(req, hit)
-		w.Header().Set("X-Cache", cacheHeader(hit))
+		cfg.record(req, outcome)
+		w.Header().Set("X-Cache", string(outcome))
 		cfg.writeJSON(w, http.StatusOK, planResponse(key, plan))
 	})
 	mux.HandleFunc("/v1/estimate", func(w http.ResponseWriter, r *http.Request) {
@@ -359,21 +448,29 @@ func NewHandler(svc *Service, opts ...HandlerOption) http.Handler {
 			cfg.writeError(w, r, err)
 			return
 		}
+		// One shared name-to-Method conversion (case-insensitive), typed
+		// 400 before any planning work runs.
+		method, err := ParseMethod(req.Method)
+		if err != nil {
+			cfg.writeError(w, r, err)
+			return
+		}
 		sc := req.Scenario()
 		if err := sc.Validate(); err != nil {
 			cfg.writeError(w, r, err)
 			return
 		}
 		key := sc.Key()
-		_, em, hit, err := svc.estimateForKey(r.Context(), sc, key, Method(req.Method),
+		_, em, outcome, err := svc.estimateForKey(r.Context(), sc, key, method,
 			estimateOptions(req.MCTrials, req.MCSeed, req.Workers)...)
 		if err != nil {
 			cfg.writeError(w, r, err)
 			return
 		}
-		cfg.record(req.ScenarioRequest, hit)
-		w.Header().Set("X-Cache", cacheHeader(hit))
-		cfg.writeJSON(w, http.StatusOK, EstimateResponse{Key: key, Method: req.Method, ExpectedMakespan: em})
+		cfg.record(req.ScenarioRequest, outcome)
+		w.Header().Set("X-Cache", string(outcome))
+		// Echo the canonical method name, not the request's casing.
+		cfg.writeJSON(w, http.StatusOK, EstimateResponse{Key: key, Method: string(method), ExpectedMakespan: em})
 	})
 	mux.HandleFunc("/v1/simulate", func(w http.ResponseWriter, r *http.Request) {
 		var req SimulateRequest
@@ -390,14 +487,14 @@ func NewHandler(svc *Service, opts ...HandlerOption) http.Handler {
 			return
 		}
 		key := sc.Key()
-		_, res, hit, err := svc.simulateForKey(r.Context(), sc, key,
+		_, res, outcome, err := svc.simulateForKey(r.Context(), sc, key,
 			simOptions(req.Trials, req.SimSeed, req.Workers)...)
 		if err != nil {
 			cfg.writeError(w, r, err)
 			return
 		}
-		cfg.record(req.ScenarioRequest, hit)
-		w.Header().Set("X-Cache", cacheHeader(hit))
+		cfg.record(req.ScenarioRequest, outcome)
+		w.Header().Set("X-Cache", string(outcome))
 		cfg.writeJSON(w, http.StatusOK, SimulateResponse{
 			Key: key, Trials: res.Trials,
 			Mean: res.Mean, StdDev: res.StdDev, CI95: res.CI95, MeanFailures: res.MeanFailures,
@@ -453,7 +550,7 @@ func NewHandler(svc *Service, opts ...HandlerOption) http.Handler {
 			i := idx[k]
 			resp.Results[i] = batchResult(req.Jobs[i], res)
 			if res.Err == nil {
-				cfg.record(req.Jobs[i].ScenarioRequest, res.Hit)
+				cfg.record(req.Jobs[i].ScenarioRequest, res.Outcome)
 			}
 		}
 		cfg.writeJSON(w, http.StatusOK, resp)
@@ -633,9 +730,11 @@ func (c *handlerConfig) streamLog(w http.ResponseWriter, r *http.Request) {
 // Cache hits are skipped: logging only the misses keeps the file near
 // the distinct-scenario count instead of growing with total traffic —
 // essential when the same file is both -log-scenarios and the next
-// boot's -warm.
-func (c *handlerConfig) record(req ScenarioRequest, hit bool) {
-	if hit {
+// boot's -warm. Structure-hits ARE recorded: they are distinct
+// canonical keys that a replaying peer must still plan (or
+// structure-hit) for itself.
+func (c *handlerConfig) record(req ScenarioRequest, outcome CacheOutcome) {
+	if outcome == CacheHit {
 		return
 	}
 	// A log write failure must not fail the planning request it rode on,
@@ -676,7 +775,14 @@ func (jr BatchJobRequest) job() Job {
 	j := Job{Kind: JobKind(jr.Kind), Scenario: jr.Scenario()}
 	switch j.Kind {
 	case JobEstimate:
-		j.Method = Method(jr.Method)
+		// Canonicalize case-insensitively; an unknown name is carried
+		// through verbatim so the job's slot reports the typed
+		// ErrUnknownMethod instead of this conversion eating it.
+		if m, err := ParseMethod(jr.Method); err == nil {
+			j.Method = m
+		} else {
+			j.Method = Method(jr.Method)
+		}
 		j.EstimateOptions = estimateOptions(jr.MCTrials, jr.MCSeed, jr.Workers)
 	case JobSimulate:
 		j.SimOptions = simOptions(jr.Trials, jr.SimSeed, jr.Workers)
@@ -849,13 +955,13 @@ func simOptions(trials int, seed *int64, workers int) []SimOption {
 // admission gate, computing the canonical key exactly once (it hashes
 // the full injected document, so recomputing it per response field
 // would double the cost).
-func planOnce(ctx context.Context, svc *Service, sc Scenario) (*Plan, string, bool, error) {
+func planOnce(ctx context.Context, svc *Service, sc Scenario) (*Plan, string, CacheOutcome, error) {
 	if err := sc.Validate(); err != nil {
-		return nil, "", false, err
+		return nil, "", CacheMiss, err
 	}
 	key := sc.Key()
-	plan, hit, err := svc.planGated(ctx, sc, key)
-	return plan, key, hit, err
+	plan, outcome, err := svc.planGated(ctx, sc, key)
+	return plan, key, outcome, err
 }
 
 func planResponse(key string, p *Plan) PlanResponse {
@@ -872,12 +978,6 @@ func planResponse(key string, p *Plan) PlanResponse {
 	}
 }
 
-func cacheHeader(hit bool) string {
-	if hit {
-		return "hit"
-	}
-	return "miss"
-}
 
 // readJSON decodes a POST body into dst, writing the error response
 // itself when the request is unusable.

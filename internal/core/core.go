@@ -65,18 +65,16 @@ type Result struct {
 	Segments int
 }
 
-// Run schedules w on pf and applies the configured strategy, returning
-// the plan and its estimated expected makespan. ctx is observed between
-// pipeline stages and inside the parallel fan-outs.
-func Run(ctx context.Context, w *mspg.Workflow, pf platform.Platform, cfg Config) (*Result, error) {
-	if cfg.Strategy == "" {
-		cfg.Strategy = ckpt.CkptSome
-	}
+// BuildSchedule runs Algorithm 1 alone: superchain allocation with the
+// configured linearization and seed (0 defaults to 1, exactly as Run
+// does — the two must stay in lockstep or a schedule rebuilt from a
+// cached scaffold would diverge from a cold run). The schedule depends
+// only on the workflow's topology and task weights plus pf.Processors;
+// pf's failure rate, bandwidth and the workflow's file sizes never
+// enter Algorithm 1.
+func BuildSchedule(w *mspg.Workflow, pf platform.Platform, cfg Config) (*sched.Schedule, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
 	}
 	s, err := sched.Allocate(w, pf, sched.Options{
 		Linearize: cfg.Linearize,
@@ -84,6 +82,26 @@ func Run(ctx context.Context, w *mspg.Workflow, pf platform.Platform, cfg Config
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: scheduling failed: %w", err)
+	}
+	return s, nil
+}
+
+// Run schedules w on pf and applies the configured strategy, returning
+// the plan and its estimated expected makespan. ctx is observed between
+// pipeline stages and inside the parallel fan-outs.
+func Run(ctx context.Context, w *mspg.Workflow, pf platform.Platform, cfg Config) (*Result, error) {
+	if cfg.Strategy == "" {
+		cfg.Strategy = ckpt.CkptSome
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s, err := BuildSchedule(w, pf, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
 	}
 	return RunOnSchedule(ctx, s, pf, cfg)
 }
@@ -146,10 +164,7 @@ func Compare(ctx context.Context, w *mspg.Workflow, pf platform.Platform, cfg Co
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
-	s, err := sched.Allocate(w, pf, sched.Options{
-		Linearize: cfg.Linearize,
-		Rng:       rand.New(rand.NewSource(cfg.Seed)),
-	})
+	s, err := BuildSchedule(w, pf, cfg)
 	if err != nil {
 		return Comparison{}, err
 	}

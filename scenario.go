@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -214,27 +215,96 @@ func (s Scenario) Validate() error {
 	return nil
 }
 
+// model names the segment cost model in hash preimages.
+func (s Scenario) model() string {
+	if s.exact {
+		return "exact"
+	}
+	return "first-order"
+}
+
+// writeInjected appends the injected-document fields to a hash
+// preimage. Every variable-length, user-controlled field is
+// length-prefixed so no (source, format, document) triple can collide
+// with another by moving bytes across a field boundary. The two
+// formats WithWorkflow can produce keep their historical bare
+// encoding ("format=json|" / "format=dax|") so every key ever written
+// to a plan store or scenario log stays valid; any other format value
+// (only constructible by hand, but a future format must not reopen
+// the hole) is length-prefixed like its neighbors — unambiguous
+// because a prefixed format starts with a digit, never 'j' or 'd'.
+func (s Scenario) writeInjected(h io.Writer) {
+	fmt.Fprintf(h, "src=%d:%s|", len(s.source), s.source)
+	switch s.format {
+	case "json", "dax":
+		fmt.Fprintf(h, "format=%s|", s.format)
+	default:
+		fmt.Fprintf(h, "format=%d:%s|", len(s.format), s.format)
+	}
+	fmt.Fprintf(h, "doc=%d:", len(s.graph))
+	h.Write(s.graph)
+}
+
 // Key returns the canonical scenario hash: a hex SHA-256 over every
 // knob that influences the resulting plan (floats hashed by their exact
 // bit patterns, injected documents by content). It is the cache key of
 // Service and stable across processes.
+//
+// Key is the full identity; StructureKey and ParamKey split the same
+// knobs into the two levels the near-duplicate fast path caches on.
+// The three preimages are independent (Key is NOT the concatenation of
+// the other two — its historical byte layout interleaves the levels),
+// but they partition the same fields: every knob hashed by Key is
+// hashed by exactly one of StructureKey and ParamKey, which is what
+// makes the (StructureKey, ParamKey) pair injective w.r.t. Key.
 func (s Scenario) Key() string {
 	h := sha256.New()
-	model := "first-order"
-	if s.exact {
-		model = "exact"
-	}
 	fmt.Fprintf(h, "family=%s|tasks=%d|procs=%d|pfail=%016x|ccr=%016x|seed=%d|bw=%016x|ragged=%t|strategy=%s|model=%s|",
 		s.family, s.tasks, s.procs,
 		math.Float64bits(s.pfail), math.Float64bits(s.ccr), s.seed,
-		math.Float64bits(s.bandwidth), s.ragged, s.strategy, model)
+		math.Float64bits(s.bandwidth), s.ragged, s.strategy, s.model())
 	if s.graph != nil {
-		// Variable-length, user-controlled fields are length-prefixed so
-		// no (source, document) pair can collide with another by moving
-		// bytes across the field boundary.
-		fmt.Fprintf(h, "src=%d:%s|format=%s|doc=%d:", len(s.source), s.source, s.format, len(s.graph))
-		h.Write(s.graph)
+		s.writeInjected(h)
 	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// StructureKey returns the structure-level scenario hash: a hex
+// SHA-256 over exactly the knobs that determine the materialized
+// workflow and its Algorithm 1 schedule shape — family/tasks/seed/
+// ragged (or the injected document's content), plus the processor
+// count the superchains are packed onto. Two scenarios with equal
+// StructureKey share their recognized M-SPG tree, generated workflow
+// topology and superchain scaffolding; only the planning tail
+// (ParamKey) can differ. It is the lookup key of the Service's
+// scaffold cache.
+//
+// The bandwidth, pfail, ccr, strategy and model knobs are deliberately
+// absent: the schedule is built from task weights and graph topology
+// only, so none of them can change it (pinned by the façade's
+// byte-identity tests).
+func (s Scenario) StructureKey() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "structure|family=%s|tasks=%d|procs=%d|seed=%d|ragged=%t|",
+		s.family, s.tasks, s.procs, s.seed, s.ragged)
+	if s.graph != nil {
+		s.writeInjected(h)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ParamKey returns the parameter-level scenario hash: a hex SHA-256
+// over the knobs StructureKey leaves out — pfail, ccr, bandwidth,
+// strategy and the cost model, i.e. everything that only affects the
+// parameter-dependent planning tail (platform calibration, CCR
+// rescaling, checkpoint placement and makespan evaluation) on a fixed
+// scaffold. (StructureKey, ParamKey) identifies a scenario exactly as
+// Key does.
+func (s Scenario) ParamKey() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "param|pfail=%016x|ccr=%016x|bw=%016x|strategy=%s|model=%s|",
+		math.Float64bits(s.pfail), math.Float64bits(s.ccr),
+		math.Float64bits(s.bandwidth), s.strategy, s.model())
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -289,7 +359,14 @@ func (r ScenarioRequest) Scenario() Scenario {
 		opts = append(opts, WithRagged(true))
 	}
 	if r.Strategy != "" {
-		opts = append(opts, WithStrategy(Strategy(r.Strategy)))
+		// Canonicalize case-insensitively; an unknown name is carried
+		// through verbatim so Validate reports the typed
+		// ErrUnknownStrategy instead of this conversion eating it.
+		st, err := ParseStrategy(r.Strategy)
+		if err != nil {
+			st = Strategy(r.Strategy)
+		}
+		opts = append(opts, WithStrategy(st))
 	}
 	if r.ExactModel {
 		opts = append(opts, WithExactCostModel())

@@ -21,6 +21,38 @@ const DefaultCacheCapacity = 256
 // own shard's lock.
 const DefaultShards = 8
 
+// DefaultStructureCacheCapacity bounds a Service's structure-scaffold
+// cache when no explicit capacity is configured. Scaffolds are an
+// order of magnitude smaller than plans (one workflow plus a chain
+// archive, no segment DAG or evaluator pools), so the default sits
+// close to the plan cache's.
+const DefaultStructureCacheCapacity = 128
+
+// CacheOutcome reports how a Service answered one plan request. It is
+// the three-valued refinement of the old hit/miss bool: a parameter
+// variant of a cached structure is neither a full hit nor a full miss.
+type CacheOutcome string
+
+const (
+	// CacheHit: the solved plan was already resident (or the request
+	// coalesced onto another goroutine's in-flight computation).
+	CacheHit CacheOutcome = "hit"
+	// CacheStructureHit: the plan was not resident, but its scenario's
+	// StructureKey matched a cached scaffold, so only the
+	// parameter-dependent planning tail ran (the near-duplicate fast
+	// path). The response is bit-identical to a cold miss.
+	CacheStructureHit CacheOutcome = "structure-hit"
+	// CacheMiss: the full cold path ran (or the plan was rehydrated
+	// from the persistent store, which replaces the planner run but is
+	// still a cache miss — see Stats.StoreHits).
+	CacheMiss CacheOutcome = "miss"
+)
+
+// Hit reports whether the outcome is a full cache hit — the bool the
+// pre-split API exposed, kept for callers that only care whether the
+// plan was computed by their call.
+func (o CacheOutcome) Hit() bool { return o == CacheHit }
+
 // DefaultInFlightPerCore sets the default admission bound to
 // DefaultInFlightPerCore × GOMAXPROCS concurrently executing requests
 // (WithMaxInFlight overrides it). Every admitted request is CPU-bound
@@ -57,6 +89,16 @@ const DefaultInFlightPerCore = 16
 // its initiator's cancellation, so the two compose.
 type Service struct {
 	shards []*shard
+
+	// scaffolds is the second, structure-keyed cache level under the
+	// plan LRU (nil when the fast path is disabled): per-shard LRUs of
+	// immutable planScaffolds keyed by Scenario.StructureKey, each with
+	// its own singleflight, so a parameter-variant request reuses the
+	// materialized workflow and Algorithm 1 schedule and re-runs only
+	// the planning tail. structureHits counts plan-cache misses
+	// answered that way.
+	scaffolds     []*scaffoldShard
+	structureHits atomic.Uint64
 
 	// maxInFlight is the admission bound; inflight the gauge of
 	// currently admitted requests. shed counts gate rejections
@@ -103,28 +145,60 @@ type shard struct {
 
 // cacheEntry is one LRU slot; once coalesces concurrent cold requests,
 // done flips (inside the once) when plan/err are safe to read without
-// entering the once.
+// entering the once. outcome records how the initiator filled the
+// entry (miss or structure-hit); coalesced waiters report a hit.
 type cacheEntry struct {
+	key     string
+	once    sync.Once
+	done    atomic.Bool
+	plan    *Plan
+	err     error
+	outcome CacheOutcome
+}
+
+// scaffoldShard is one lock domain of the structure-scaffold LRU,
+// mirroring the plan cache's shape: per-shard lock, recency list and
+// singleflight via the entries' once.
+type scaffoldShard struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+// scaffoldEntry is one scaffold slot; once coalesces concurrent builds
+// of the same structure.
+type scaffoldEntry struct {
 	key  string
 	once sync.Once
-	done atomic.Bool
-	plan *Plan
+	sf   *planScaffold
 	err  error
+}
+
+// evictLocked trims the scaffold shard to its capacity. Caller holds
+// sh.mu.
+func (sh *scaffoldShard) evictLocked() {
+	for sh.order.Len() > sh.cap {
+		last := sh.order.Back()
+		sh.order.Remove(last)
+		delete(sh.entries, last.Value.(*scaffoldEntry).key)
+	}
 }
 
 // ServiceOption configures a Service.
 type ServiceOption func(*serviceConfig)
 
 type serviceConfig struct {
-	capacity    int
-	shards      int
-	maxInFlight int
-	timeout     time.Duration
-	planner     func(ctx context.Context, sc Scenario) (*Plan, error)
-	storeDir    string
-	store       *PlanStore
-	storeVerify bool
-	logf        func(string, ...any)
+	capacity       int
+	shards         int
+	structureCache int
+	maxInFlight    int
+	timeout        time.Duration
+	planner        func(ctx context.Context, sc Scenario) (*Plan, error)
+	storeDir       string
+	store          *PlanStore
+	storeVerify    bool
+	logf           func(string, ...any)
 }
 
 // WithCacheCapacity bounds the plan LRU (minimum 1; default
@@ -146,6 +220,19 @@ func WithShards(n int) ServiceOption {
 		if n > 0 {
 			c.shards = n
 		}
+	}
+}
+
+// WithStructureCache bounds the structure-scaffold cache (default
+// DefaultStructureCacheCapacity, split evenly across the shards). 0 or
+// below disables the near-duplicate fast path entirely: every plan
+// miss runs the full cold pipeline, exactly the pre-split behavior.
+func WithStructureCache(n int) ServiceOption {
+	return func(c *serviceConfig) {
+		if n < 0 {
+			n = 0
+		}
+		c.structureCache = n
 	}
 }
 
@@ -178,6 +265,11 @@ func WithRequestTimeout(d time.Duration) ServiceOption {
 // exists as a seam for fault injection and resilience testing — a
 // wrapper can add latency, fail, or hang until cancellation — and must
 // be deterministic for the cache's hit-equals-miss contract to hold.
+// A custom planner disables the structure-scaffold fast path: the
+// Service cannot know that an injected planner decomposes into the
+// scaffold + tail pipeline, so every miss goes through fn. (This also
+// makes WithPlanner(NewPlan) the canonical way to build a
+// scaffold-free reference service.)
 func WithPlanner(fn func(ctx context.Context, sc Scenario) (*Plan, error)) ServiceOption {
 	return func(c *serviceConfig) {
 		if fn != nil {
@@ -235,13 +327,20 @@ func WithServiceLogf(fn func(string, ...any)) ServiceOption {
 // NewService returns a ready-to-use planner.
 func NewService(opts ...ServiceOption) *Service {
 	cfg := serviceConfig{
-		capacity:    DefaultCacheCapacity,
-		shards:      DefaultShards,
-		maxInFlight: DefaultInFlightPerCore * runtime.GOMAXPROCS(0),
-		planner:     NewPlan,
+		capacity:       DefaultCacheCapacity,
+		shards:         DefaultShards,
+		structureCache: DefaultStructureCacheCapacity,
+		maxInFlight:    DefaultInFlightPerCore * runtime.GOMAXPROCS(0),
 	}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.planner != nil {
+		// A custom planner owns the whole cold path; the scaffold fast
+		// path would silently bypass it (see WithPlanner).
+		cfg.structureCache = 0
+	} else {
+		cfg.planner = NewPlan
 	}
 	perShard := (cfg.capacity + cfg.shards - 1) / cfg.shards
 	if perShard < 1 {
@@ -254,6 +353,20 @@ func NewService(opts ...ServiceOption) *Service {
 		planner:     cfg.planner,
 		storeVerify: cfg.storeVerify,
 		logf:        cfg.logf,
+	}
+	if cfg.structureCache > 0 {
+		perScaffoldShard := (cfg.structureCache + cfg.shards - 1) / cfg.shards
+		if perScaffoldShard < 1 {
+			perScaffoldShard = 1
+		}
+		s.scaffolds = make([]*scaffoldShard, cfg.shards)
+		for i := range s.scaffolds {
+			s.scaffolds[i] = &scaffoldShard{
+				cap:     perScaffoldShard,
+				entries: make(map[string]*list.Element),
+				order:   list.New(),
+			}
+		}
 	}
 	if s.logf == nil {
 		s.logf = func(string, ...any) {}
@@ -365,6 +478,21 @@ func (s *Service) shardFor(key string) *shard {
 	return s.shards[h%uint32(len(s.shards))]
 }
 
+// scaffoldShardFor maps a structure key onto its scaffold shard (same
+// FNV-1a mix as shardFor; the two caches shard independently because
+// their key spaces are unrelated).
+func (s *Service) scaffoldShardFor(key string) *scaffoldShard {
+	if len(s.scaffolds) == 1 {
+		return s.scaffolds[0]
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return s.scaffolds[h%uint32(len(s.scaffolds))]
+}
+
 // Stats is a point-in-time snapshot of the cache and admission gate,
 // aggregated across shards.
 type Stats struct {
@@ -381,6 +509,15 @@ type Stats struct {
 	MaxInFlight     int    `json:"max_inflight"`
 	Shed            uint64 `json:"shed"`
 	DeadlineExpired uint64 `json:"deadline_expired"`
+	// StructureHits counts plan-cache misses answered via a resident
+	// structure scaffold (the near-duplicate fast path: workflow and
+	// Algorithm 1 schedule reused, only the parameter tail re-run).
+	// StructureEntries/StructureCapacity describe the scaffold cache;
+	// all zero when the fast path is disabled (WithStructureCache(0) or
+	// a custom WithPlanner).
+	StructureHits     uint64 `json:"structure_hits"`
+	StructureEntries  int    `json:"structure_entries"`
+	StructureCapacity int    `json:"structure_capacity"`
 	// StoreHits counts plans served from the persistent store on the
 	// request path (a planner run avoided after an eviction or on a
 	// fresh replica); StoreLoads plans rehydrated eagerly at boot by
@@ -422,6 +559,13 @@ func (s *Service) Stats() Stats {
 		st.Capacity += sh.cap
 		sh.mu.Unlock()
 	}
+	st.StructureHits = s.structureHits.Load()
+	for _, sh := range s.scaffolds {
+		sh.mu.Lock()
+		st.StructureEntries += sh.order.Len()
+		st.StructureCapacity += sh.cap
+		sh.mu.Unlock()
+	}
 	return st
 }
 
@@ -435,12 +579,25 @@ func (s *Service) Plan(ctx context.Context, sc Scenario) (*Plan, error) {
 
 // PlanCached is Plan plus a flag reporting whether the plan was already
 // resident (true) or computed by this call (false). Waiters coalesced
-// onto another goroutine's in-flight computation report a hit.
+// onto another goroutine's in-flight computation report a hit. A
+// structure-hit reports false — the plan was computed by this call;
+// PlanDetail exposes the full three-valued outcome.
 func (s *Service) PlanCached(ctx context.Context, sc Scenario) (*Plan, bool, error) {
+	p, outcome, err := s.PlanDetail(ctx, sc)
+	return p, outcome.Hit(), err
+}
+
+// PlanDetail is Plan plus the three-valued cache outcome: CacheHit
+// (resident or coalesced), CacheStructureHit (near-duplicate fast
+// path: scaffold reused, parameter tail re-run) or CacheMiss (full
+// cold pipeline, or a persistent-store rehydration). All three return
+// bit-identical plans; the outcome only reports how much work the
+// request cost.
+func (s *Service) PlanDetail(ctx context.Context, sc Scenario) (*Plan, CacheOutcome, error) {
 	// Validate before hashing so the cache only ever holds well-formed
 	// scenarios (and a malformed request cannot evict a resident plan).
 	if err := sc.Validate(); err != nil {
-		return nil, false, err
+		return nil, CacheMiss, err
 	}
 	return s.planGated(ctx, sc, sc.Key())
 }
@@ -450,50 +607,53 @@ func (s *Service) PlanCached(ctx context.Context, sc Scenario) (*Plan, bool, err
 // handlers, batch jobs) shares. Boot-time warm-up replay is the one
 // deliberate exception: it bounds itself by its worker pool and must
 // not compete with the gate it is trying to fill.
-func (s *Service) planGated(ctx context.Context, sc Scenario, key string) (p *Plan, hit bool, err error) {
+func (s *Service) planGated(ctx context.Context, sc Scenario, key string) (p *Plan, outcome CacheOutcome, err error) {
+	outcome = CacheMiss
 	err = s.do(ctx, func(ctx context.Context) error {
 		var perr error
-		p, hit, perr = s.planForKey(ctx, sc, key)
+		p, outcome, perr = s.planForKey(ctx, sc, key)
 		return perr
 	})
-	return p, hit, err
+	return p, outcome, err
 }
 
 // estimateForKey plans (through the cache) and estimates under one
 // admission slot and one request budget, so a slow estimator cannot
 // outlive the gate's accounting of it.
-func (s *Service) estimateForKey(ctx context.Context, sc Scenario, key string, m Method, opts ...EstimateOption) (p *Plan, em float64, hit bool, err error) {
+func (s *Service) estimateForKey(ctx context.Context, sc Scenario, key string, m Method, opts ...EstimateOption) (p *Plan, em float64, outcome CacheOutcome, err error) {
+	outcome = CacheMiss
 	err = s.do(ctx, func(ctx context.Context) error {
 		var perr error
-		p, hit, perr = s.planForKey(ctx, sc, key)
+		p, outcome, perr = s.planForKey(ctx, sc, key)
 		if perr != nil {
 			return perr
 		}
 		em, perr = p.Estimate(ctx, m, opts...)
 		return perr
 	})
-	return p, em, hit, err
+	return p, em, outcome, err
 }
 
 // simulateForKey plans (through the cache) and simulates under one
 // admission slot and one request budget.
-func (s *Service) simulateForKey(ctx context.Context, sc Scenario, key string, opts ...SimOption) (p *Plan, res SimResult, hit bool, err error) {
+func (s *Service) simulateForKey(ctx context.Context, sc Scenario, key string, opts ...SimOption) (p *Plan, res SimResult, outcome CacheOutcome, err error) {
+	outcome = CacheMiss
 	err = s.do(ctx, func(ctx context.Context) error {
 		var perr error
-		p, hit, perr = s.planForKey(ctx, sc, key)
+		p, outcome, perr = s.planForKey(ctx, sc, key)
 		if perr != nil {
 			return perr
 		}
 		res, perr = p.Simulate(ctx, opts...)
 		return perr
 	})
-	return p, res, hit, err
+	return p, res, outcome, err
 }
 
-// planForKey is PlanCached after validation, with the canonical hash
+// planForKey is PlanDetail after validation, with the canonical hash
 // already computed (HTTP handlers reuse it for the response instead of
 // hashing a potentially multi-megabyte injected document twice).
-func (s *Service) planForKey(ctx context.Context, sc Scenario, key string) (*Plan, bool, error) {
+func (s *Service) planForKey(ctx context.Context, sc Scenario, key string) (*Plan, CacheOutcome, error) {
 	sh := s.shardFor(key)
 	for {
 		sh.mu.Lock()
@@ -516,6 +676,7 @@ func (s *Service) planForKey(ctx context.Context, sc Scenario, key string) (*Pla
 			// store hit, and only a genuinely unknown scenario counts as
 			// a miss. The write-through on success is what fills the
 			// store in the first place.
+			e.outcome = CacheMiss
 			if p, ok := s.storeLoad(ctx, key); ok {
 				s.storeHits.Add(1)
 				e.plan = p
@@ -523,7 +684,7 @@ func (s *Service) planForKey(ctx context.Context, sc Scenario, key string) (*Pla
 				sh.mu.Lock()
 				sh.misses++
 				sh.mu.Unlock()
-				e.plan, e.err = s.planner(ctx, sc)
+				e.plan, e.outcome, e.err = s.planCold(ctx, sc)
 				if e.err == nil {
 					s.storePut(key, e.plan)
 				}
@@ -531,7 +692,12 @@ func (s *Service) planForKey(ctx context.Context, sc Scenario, key string) (*Pla
 			e.done.Store(true)
 		})
 		if e.err == nil {
-			return e.plan, hit, nil
+			if hit {
+				// Resident entry, or coalesced onto another goroutine's
+				// flight: served from memory either way.
+				return e.plan, CacheHit, nil
+			}
+			return e.plan, e.outcome, nil
 		}
 		// Do not cache failures (the first caller's ctx may simply have
 		// been cancelled); drop the entry if it is still resident.
@@ -549,7 +715,81 @@ func (s *Service) planForKey(ctx context.Context, sc Scenario, key string) (*Pla
 			(errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
 			continue
 		}
-		return nil, hit, e.err
+		return nil, CacheMiss, e.err
+	}
+}
+
+// planCold computes a plan that is neither resident nor stored. With
+// the structure cache enabled, every cold plan goes through the
+// scaffold pipeline — look up (or build, coalesced per structure key)
+// the scenario's scaffold, then run only the parameter-dependent tail.
+// A plan whose scaffold was already resident is the near-duplicate
+// fast path and reports CacheStructureHit; a fresh scaffold is a plain
+// miss that also warms the scaffold cache for the parameter variants
+// behind it. With the fast path disabled, the configured planner runs.
+func (s *Service) planCold(ctx context.Context, sc Scenario) (*Plan, CacheOutcome, error) {
+	if s.scaffolds == nil {
+		p, err := s.planner(ctx, sc)
+		return p, CacheMiss, err
+	}
+	sf, resident, err := s.scaffoldFor(ctx, sc)
+	if err != nil {
+		return nil, CacheMiss, err
+	}
+	outcome := CacheMiss
+	if resident {
+		outcome = CacheStructureHit
+		s.structureHits.Add(1)
+	}
+	p, err := planFromScaffold(ctx, sc, sf)
+	if err != nil {
+		return nil, CacheMiss, err
+	}
+	return p, outcome, nil
+}
+
+// scaffoldFor returns the scaffold for sc's structure, building it at
+// most once per structure key (concurrent parameter variants of one
+// cold structure coalesce onto a single materialize+Algorithm 1 run).
+// resident reports whether the scaffold already existed — true also
+// for a coalesced wait, which shared the build exactly like a plan
+// cache's coalesced hit. Failed builds are dropped, and a flight that
+// died of its initiator's cancellation is retried by live waiters,
+// mirroring planForKey.
+func (s *Service) scaffoldFor(ctx context.Context, sc Scenario) (*planScaffold, bool, error) {
+	key := sc.StructureKey()
+	sh := s.scaffoldShardFor(key)
+	for {
+		sh.mu.Lock()
+		el, resident := sh.entries[key]
+		var e *scaffoldEntry
+		if resident {
+			sh.order.MoveToFront(el)
+			e = el.Value.(*scaffoldEntry)
+		} else {
+			e = &scaffoldEntry{key: key}
+			sh.entries[key] = sh.order.PushFront(e)
+			sh.evictLocked()
+		}
+		sh.mu.Unlock()
+
+		e.once.Do(func() {
+			e.sf, e.err = buildScaffold(ctx, sc)
+		})
+		if e.err == nil {
+			return e.sf, resident, nil
+		}
+		sh.mu.Lock()
+		if cur, ok := sh.entries[key]; ok && cur.Value.(*scaffoldEntry) == e {
+			sh.order.Remove(cur)
+			delete(sh.entries, key)
+		}
+		sh.mu.Unlock()
+		if ctx.Err() == nil &&
+			(errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+			continue
+		}
+		return nil, false, e.err
 	}
 }
 

@@ -1,0 +1,191 @@
+package hanccr
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// keyGrid is a scenario set that perturbs every knob Key hashes, one at
+// a time from a common base, plus injected-document variants — the
+// probe set for the two-level identity properties.
+func keyGrid() []Scenario {
+	grid := []Scenario{
+		NewScenario(),
+		// Structure knobs.
+		NewScenario(WithFamily("montage")),
+		NewScenario(WithFamily("ligo")),
+		NewScenario(WithFamily("ligo"), WithRagged(true)),
+		NewScenario(WithTasks(50)),
+		NewScenario(WithProcs(5)),
+		NewScenario(WithSeed(7)),
+		// Parameter knobs.
+		NewScenario(WithPFail(0.01)),
+		NewScenario(WithCCR(0.5)),
+		NewScenario(WithBandwidth(2e8)),
+		NewScenario(WithStrategy(CkptAll)),
+		NewScenario(WithStrategy(CkptNone)),
+		NewScenario(WithStrategy(ExitOnly)),
+		NewScenario(WithExactCostModel()),
+		// Mixed: one structure knob and one parameter knob together.
+		NewScenario(WithSeed(7), WithPFail(0.01)),
+		// Injected documents.
+		NewScenario(WithWorkflow("inline", "json", []byte(`{"tasks":[{"id":0,"work":1}]}`)), WithProcs(3)),
+		NewScenario(WithWorkflow("inline", "dax", []byte(`<adag></adag>`)), WithProcs(3)),
+		NewScenario(WithWorkflow("other", "json", []byte(`{"tasks":[{"id":0,"work":1}]}`)), WithProcs(3)),
+		NewScenario(WithWorkflow("inline", "json", []byte(`{"tasks":[{"id":0,"work":2}]}`)), WithProcs(3)),
+	}
+	return grid
+}
+
+// TestKeySplitInjective pins the two-level identity contract: over the
+// probe grid, two scenarios have equal Key exactly when they have equal
+// (StructureKey, ParamKey) — the split loses nothing and invents
+// nothing. This is what lets the Service address one plan by two keys
+// without ever serving the wrong parameter variant from a scaffold.
+func TestKeySplitInjective(t *testing.T) {
+	grid := keyGrid()
+	for i := 0; i < len(grid); i++ {
+		for j := i + 1; j < len(grid); j++ {
+			a, b := grid[i], grid[j]
+			sameKey := a.Key() == b.Key()
+			samePair := a.StructureKey() == b.StructureKey() && a.ParamKey() == b.ParamKey()
+			if sameKey != samePair {
+				t.Errorf("grid[%d] vs grid[%d]: Key equal = %v but (StructureKey, ParamKey) equal = %v",
+					i, j, sameKey, samePair)
+			}
+		}
+	}
+}
+
+// TestStructureKeyIgnoresParameters pins the fast path's premise:
+// parameter-only variants of one scenario share a StructureKey (so they
+// share a scaffold) while their ParamKeys — and full Keys — all differ.
+func TestStructureKeyIgnoresParameters(t *testing.T) {
+	base := NewScenario(WithFamily("genome"), WithTasks(40), WithProcs(3), WithSeed(7))
+	variants := []Scenario{
+		NewScenario(WithFamily("genome"), WithTasks(40), WithProcs(3), WithSeed(7), WithPFail(0.01)),
+		NewScenario(WithFamily("genome"), WithTasks(40), WithProcs(3), WithSeed(7), WithCCR(0.5)),
+		NewScenario(WithFamily("genome"), WithTasks(40), WithProcs(3), WithSeed(7), WithBandwidth(2e8)),
+		NewScenario(WithFamily("genome"), WithTasks(40), WithProcs(3), WithSeed(7), WithStrategy(CkptAll)),
+		NewScenario(WithFamily("genome"), WithTasks(40), WithProcs(3), WithSeed(7), WithExactCostModel()),
+	}
+	seenParam := map[string]bool{base.ParamKey(): true}
+	seenKey := map[string]bool{base.Key(): true}
+	for i, v := range variants {
+		if v.StructureKey() != base.StructureKey() {
+			t.Errorf("variant %d: StructureKey changed with a parameter knob", i)
+		}
+		if seenParam[v.ParamKey()] {
+			t.Errorf("variant %d: ParamKey collides with an earlier variant", i)
+		}
+		if seenKey[v.Key()] {
+			t.Errorf("variant %d: Key collides with an earlier variant", i)
+		}
+		seenParam[v.ParamKey()] = true
+		seenKey[v.Key()] = true
+	}
+	// And the converse: every structure knob moves the StructureKey.
+	structural := []Scenario{
+		NewScenario(WithFamily("montage"), WithTasks(40), WithProcs(3), WithSeed(7)),
+		NewScenario(WithFamily("genome"), WithTasks(41), WithProcs(3), WithSeed(7)),
+		NewScenario(WithFamily("genome"), WithTasks(40), WithProcs(4), WithSeed(7)),
+		NewScenario(WithFamily("genome"), WithTasks(40), WithProcs(3), WithSeed(8)),
+	}
+	for i, v := range structural {
+		if v.StructureKey() == base.StructureKey() {
+			t.Errorf("structural variant %d shares the base StructureKey", i)
+		}
+	}
+}
+
+// TestStructureKeyDistinctDocuments pins the injected-document half of
+// the structure identity: documents that differ in content, name or
+// format never share a StructureKey, including pairs built to move
+// bytes across the name/document field boundary. A collision here would
+// let the scaffold cache serve one uploaded workflow's schedule for a
+// different uploaded workflow.
+func TestStructureKeyDistinctDocuments(t *testing.T) {
+	docs := []Scenario{
+		NewScenario(WithWorkflow("inline", "json", []byte(`{"tasks":[{"id":0,"work":1}]}`))),
+		NewScenario(WithWorkflow("inline", "json", []byte(`{"tasks":[{"id":0,"work":2}]}`))),
+		NewScenario(WithWorkflow("inline2", "json", []byte(`{"tasks":[{"id":0,"work":1}]}`))),
+		NewScenario(WithWorkflow("inline", "dax", []byte(`{"tasks":[{"id":0,"work":1}]}`))),
+		// The boundary-move pair from the Key() collision test: bytes
+		// shifted between the name and the document.
+		NewScenario(WithWorkflow("n", "json", []byte("PAYLOAD-A|format=json|doc=42:rest"))),
+		NewScenario(WithWorkflow("n|format=json|doc=42:PAYLOAD-A", "json", []byte("rest"))),
+		// A generated scenario must never collide with an injected one.
+		NewScenario(),
+	}
+	seen := map[string]int{}
+	for i, sc := range docs {
+		k := sc.StructureKey()
+		if j, dup := seen[k]; dup {
+			t.Errorf("documents %d and %d share a StructureKey", j, i)
+		}
+		seen[k] = i
+	}
+}
+
+// TestScenarioKeyFormatBoundaryCollisionFixed pins the format
+// length-prefix fix. Under the old encoding the format field was the
+// one unprefixed variable-length field in the preimage, so these two
+// hand-built scenarios hashed the identical byte stream
+//
+//	...|src=1:n|format=j|doc=9:X|doc=1:Y
+//
+// by moving "|doc=9:X" between the format and the document. The
+// constructor path cannot build them (WithWorkflow pins format to
+// json/dax — which keep their historical bare encoding, per the golden
+// keys), but the preimage must be injective for every representable
+// value, not just the reachable ones: a future format joins the closed
+// set by being added here, not by reopening the hole.
+func TestScenarioKeyFormatBoundaryCollisionFixed(t *testing.T) {
+	mk := func(format string, doc []byte) Scenario {
+		sc := NewScenario()
+		sc.source = "n"
+		sc.format = format
+		sc.graph = doc
+		return sc
+	}
+	a := mk("j", []byte("X|doc=1:Y"))
+	b := mk("j|doc=9:X", []byte("Y"))
+	if a.Key() == b.Key() {
+		t.Fatal("scenario keys collide across the format/document boundary")
+	}
+	if a.StructureKey() == b.StructureKey() {
+		t.Fatal("structure keys collide across the format/document boundary")
+	}
+}
+
+// TestParseMethodStrategy pins the case-insensitive parsers: canonical
+// names round-trip, any casing canonicalizes, unknowns fail with the
+// typed sentinel naming the accepted set.
+func TestParseMethodStrategy(t *testing.T) {
+	for _, m := range Methods() {
+		for _, in := range []string{string(m), strings.ToLower(string(m)), strings.ToUpper(string(m))} {
+			got, err := ParseMethod(in)
+			if err != nil || got != m {
+				t.Errorf("ParseMethod(%q) = %q, %v; want %q", in, got, err, m)
+			}
+		}
+	}
+	for _, st := range Strategies() {
+		for _, in := range []string{string(st), strings.ToLower(string(st)), strings.ToUpper(string(st))} {
+			got, err := ParseStrategy(in)
+			if err != nil || got != st {
+				t.Errorf("ParseStrategy(%q) = %q, %v; want %q", in, got, err, st)
+			}
+		}
+	}
+	if _, err := ParseMethod("Gaussian"); !errors.Is(err, ErrUnknownMethod) {
+		t.Errorf("ParseMethod(Gaussian) = %v, want ErrUnknownMethod", err)
+	}
+	if _, err := ParseStrategy("CkptMost"); !errors.Is(err, ErrUnknownStrategy) {
+		t.Errorf("ParseStrategy(CkptMost) = %v, want ErrUnknownStrategy", err)
+	}
+	if _, err := ParseMethod(""); err == nil {
+		t.Error("ParseMethod(\"\") succeeded")
+	}
+}
