@@ -5,12 +5,24 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race bench-smoke bench bench-scaling golden-update fuzz-smoke serve-smoke stress-smoke replica-smoke
+.PHONY: check vet build test race bench-smoke bench bench-scaling golden-update fuzz-smoke serve-smoke stress-smoke replica-smoke lint lint-invariants
 
-check: vet build race bench-smoke
+check: vet build lint-invariants race bench-smoke
 
 vet:
 	$(GO) vet ./...
+
+# The repo-invariant analyzers (internal/lint): determinism, error
+# discipline, lock hygiene, ctx flow, flag-block ownership. Exits 1 on
+# any unsuppressed finding; //hanccr:allow documents the exceptions.
+lint-invariants:
+	$(GO) run ./cmd/hanccr-lint
+
+# One lint umbrella: formatting, vet and the invariant analyzers —
+# what the CI lint job runs.
+lint: vet lint-invariants
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...

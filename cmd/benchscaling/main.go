@@ -499,7 +499,7 @@ func runSaturationPanel(ctx context.Context) (saturStat, error) {
 					mu.Unlock()
 					return
 				}
-				_, _ = io.Copy(io.Discard, resp.Body)
+				_, _ = io.Copy(io.Discard, resp.Body) //hanccr:allow discarderr best-effort drain so the connection is reusable; the benchmark only times the request
 				resp.Body.Close()
 				d := time.Since(start)
 				mu.Lock()

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildLint compiles the binary once per test binary into a temp dir.
+func buildLint(t *testing.T) (bin, root string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin = filepath.Join(t.TempDir(), "hanccr-lint")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/hanccr-lint")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin, root
+}
+
+// TestLintGateExitCodes is the guardrail the whole PR rests on: the
+// binary exits 0 on HEAD (the repo really is clean) and exits 1 with
+// the expected diagnostics once the deliberately-broken fixture is
+// compiled in via -tags lintfixture. A linter that cannot fail would
+// be indistinguishable from a clean repo.
+func TestLintGateExitCodes(t *testing.T) {
+	bin, root := buildLint(t)
+
+	out, err := exec.Command(bin, "-dir", root).CombinedOutput()
+	if err != nil {
+		t.Fatalf("clean HEAD: exit error %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "0 finding(s)") {
+		t.Fatalf("clean HEAD summary missing:\n%s", out)
+	}
+
+	out, err = exec.Command(bin, "-dir", root, "-tags", "lintfixture").CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("broken fixture: err = %v (want exit 1)\n%s", err, out)
+	}
+	text := string(out)
+	for _, wantFrag := range []string{
+		"internal/lint/brokenfixture/broken.go",
+		"[discarderr]",
+		"[ctxflow]",
+	} {
+		if !strings.Contains(text, wantFrag) {
+			t.Errorf("broken-fixture output lacks %q:\n%s", wantFrag, text)
+		}
+	}
+}
+
+// TestLintJSONReport pins the machine-readable shape CI archives: a
+// findings array (suppressed entries carried with their reasons) plus
+// totals, valid JSON even when clean.
+func TestLintJSONReport(t *testing.T) {
+	bin, root := buildLint(t)
+	out, err := exec.Command(bin, "-dir", root, "-json").Output()
+	if err != nil {
+		t.Fatalf("json run: %v", err)
+	}
+	var report struct {
+		Findings []struct {
+			Check      string `json:"check"`
+			Pos        string `json:"pos"`
+			Message    string `json:"message"`
+			Suppressed bool   `json:"suppressed"`
+			Reason     string `json:"reason"`
+		} `json:"findings"`
+		Total      int `json:"total"`
+		Suppressed int `json:"suppressed"`
+	}
+	if err := json.Unmarshal(out, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, out)
+	}
+	if report.Total != 0 {
+		t.Fatalf("HEAD has %d unsuppressed findings in the JSON report", report.Total)
+	}
+	if report.Suppressed == 0 || len(report.Findings) != report.Suppressed {
+		t.Fatalf("suppressed accounting off: %d findings vs suppressed=%d", len(report.Findings), report.Suppressed)
+	}
+	for _, f := range report.Findings {
+		if !f.Suppressed || f.Reason == "" || f.Check == "" || f.Pos == "" {
+			t.Fatalf("malformed suppressed finding in report: %+v", f)
+		}
+	}
+}
+
+// TestLintChecksFilter pins -checks: a subset run only applies the
+// named checkers.
+func TestLintChecksFilter(t *testing.T) {
+	bin, root := buildLint(t)
+	out, err := exec.Command(bin, "-dir", root, "-tags", "lintfixture", "-checks", "ctxflow").CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("filtered run: err = %v (want exit 1)\n%s", err, out)
+	}
+	if strings.Contains(string(out), "[discarderr]") {
+		t.Fatalf("-checks ctxflow still ran discarderr:\n%s", out)
+	}
+	if !strings.Contains(string(out), "[ctxflow]") {
+		t.Fatalf("-checks ctxflow reported nothing:\n%s", out)
+	}
+}

@@ -101,7 +101,7 @@ func main() {
 		pre := svc.Stats()
 		start := time.Now()
 		warmed, failed, err := svc.WarmFromLog(context.Background(), f, sf.WarmWorkers)
-		f.Close()
+		f.Close() //hanccr:allow discarderr warm log opened read-only; nothing was written that a close error could lose
 		if err != nil {
 			fatal(fmt.Errorf("warm %s: %w", sf.Warm, err))
 		}
@@ -136,7 +136,7 @@ func main() {
 		log.Printf("serve: recording scenario traffic to %s (peers can tail it via GET /v1/log)", sf.LogScenarios)
 	}
 
-	gate := new(hanccr.DrainGate)
+	gate := &hanccr.DrainGate{Logf: log.Printf}
 	srv := &http.Server{
 		Addr:    sf.Addr,
 		Handler: logRequests(gate.Wrap(hanccr.NewHandler(svc, handlerOpts...))),

@@ -978,7 +978,6 @@ func planResponse(key string, p *Plan) PlanResponse {
 	}
 }
 
-
 // readJSON decodes a POST body into dst, writing the error response
 // itself when the request is unusable.
 func (c *handlerConfig) readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
@@ -1144,6 +1143,12 @@ func (lw *lineWriter) writeRawLine(line []byte) error {
 type DrainGate struct {
 	draining atomic.Bool
 	active   atomic.Int64
+
+	// Logf, when set, observes failures writing the 503 refusal body
+	// (a client that vanished mid-drain). Optional — the zero
+	// DrainGate stays usable — but a daemon should wire it so no
+	// write-path error is silently dropped.
+	Logf func(format string, args ...any)
 }
 
 // Wrap gates next behind the drain flag and counts its in-flight
@@ -1161,7 +1166,9 @@ func (g *DrainGate) Wrap(next http.Handler) http.Handler {
 			w.Header().Set("Connection", "close")
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusServiceUnavailable)
-			_ = json.NewEncoder(w).Encode(map[string]string{"error": "server draining"})
+			if err := json.NewEncoder(w).Encode(map[string]string{"error": "server draining"}); err != nil && g.Logf != nil {
+				g.Logf("drain: writing 503 refusal: %v", err)
+			}
 			return
 		}
 		next.ServeHTTP(w, r)

@@ -92,6 +92,7 @@ func newChainCosts(s *sched.Schedule, p platform.Platform, sc *sched.Superchain)
 			cc.producedAt[pos] = append(cc.producedAt[pos], local(f))
 		}
 	}
+	//hanccr:allow mapiter every entry writes only its own indexed slot, so visit order cannot reach the result
 	for f, i := range fileIdx {
 		file := g.File(f)
 		if file.Producer != wfdag.NoTask {

@@ -159,9 +159,9 @@ func evalAll(g *probdag.Graph, base AccuracyRow, cfg AccuracyConfig, out []Accur
 	for i, m := range methods {
 		r := base
 		r.Estimator = m.name
-		start := time.Now()
+		start := time.Now() //hanccr:allow walltime the accuracy panel reports measured latency; elapsed time is the output, not an input to any plan
 		est, err := m.f()
-		r.Elapsed = time.Since(start)
+		r.Elapsed = time.Since(start) //hanccr:allow walltime measured latency is the panel output, not an input to any plan
 		if err != nil {
 			r.Err = err.Error()
 		} else {

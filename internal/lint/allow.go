@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+const (
+	allowPrefix     = "//hanccr:allow "
+	allowFilePrefix = "//hanccr:allow-file "
+	allowBare       = "//hanccr:allow"
+)
+
+// allowSet indexes the suppression directives of one package. A
+// line-scoped allow covers its own line and the next (so it works both
+// as a trailing comment and on the line above); a file-scoped allow
+// covers the whole file.
+type allowSet struct {
+	byLine map[allowKey]string // reason
+	byFile map[allowKey]string
+}
+
+type allowKey struct {
+	file  string
+	check string
+	line  int // 0 for file-scoped
+}
+
+// match reports whether a finding of check at file:line is suppressed,
+// and by which documented reason.
+func (a *allowSet) match(check, file string, line int) (string, bool) {
+	if r, ok := a.byFile[allowKey{file, check, 0}]; ok {
+		return r, true
+	}
+	if r, ok := a.byLine[allowKey{file, check, line}]; ok {
+		return r, true
+	}
+	if r, ok := a.byLine[allowKey{file, check, line - 1}]; ok {
+		return r, true
+	}
+	return "", false
+}
+
+// collectAllows scans a package's comments for //hanccr:allow
+// directives. Malformed directives — no check name, a check nobody
+// registered, or a missing reason — come back as findings under the
+// "directive" pseudo-check: an unreadable suppression must not
+// silently suppress, and must not silently rot either.
+func collectAllows(p *Package, root string) (*allowSet, []Diagnostic) {
+	allows := &allowSet{
+		byLine: make(map[allowKey]string),
+		byFile: make(map[allowKey]string),
+	}
+	var diags []Diagnostic
+	bad := func(c *ast.Comment, msg string) {
+		diags = append(diags, makeDiag(p.Fset, root, "directive", c.Pos(), msg))
+	}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				fileScoped := false
+				var rest string
+				switch {
+				case strings.HasPrefix(text, allowFilePrefix):
+					fileScoped = true
+					rest = text[len(allowFilePrefix):]
+				case strings.HasPrefix(text, allowPrefix):
+					rest = text[len(allowPrefix):]
+				case text == allowBare || text == allowBare+"-file":
+					bad(c, "hanccr:allow directive needs a check name and a reason")
+					continue
+				default:
+					continue
+				}
+				check, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				reason = strings.TrimSpace(reason)
+				if _, known := registry[check]; !known {
+					bad(c, "hanccr:allow names unknown check "+strconvQuote(check))
+					continue
+				}
+				if reason == "" {
+					bad(c, "hanccr:allow "+check+" has no reason; document why the finding is fine")
+					continue
+				}
+				d := makeDiag(p.Fset, root, "directive", c.Pos(), "")
+				key := allowKey{file: d.file, check: check}
+				if fileScoped {
+					allows.byFile[key] = reason
+				} else {
+					key.line = d.line
+					allows.byLine[key] = reason
+				}
+			}
+		}
+	}
+	return allows, diags
+}
+
+func strconvQuote(s string) string {
+	return `"` + s + `"`
+}

@@ -1,0 +1,24 @@
+//go:build lintfixture
+
+// Package brokenfixture is a deliberately-broken file hidden behind
+// the lintfixture build tag: normal builds and lint runs never see it,
+// but `hanccr-lint -tags lintfixture` must exit 1 with these exact
+// diagnostics. The regression test in cmd/hanccr-lint uses that to
+// prove the gate actually gates — a linter that silently passes
+// everything would otherwise look identical to a clean repo.
+package brokenfixture
+
+import (
+	"context"
+	"os"
+)
+
+// DropWriteError loses a write error — the discarderr class (PR 7).
+func DropWriteError(f *os.File, b []byte) {
+	_, _ = f.Write(b)
+}
+
+// DetachContext drops the caller's cancellation — the ctxflow class.
+func DetachContext(ctx context.Context, f func(context.Context) error) error {
+	return f(context.Background())
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ctxflow flags a function that receives a context.Context yet hands
+// context.Background() or context.TODO() to a callee. Detaching from
+// the caller's context silently drops cancellation, the request
+// deadline and the admission budget — exactly the plumbing PR 6 built;
+// a detached subtree keeps planning after the client has gone away.
+// The received context (or a With* derivation of it) is the one that
+// flows onward. Closures count: a literal defined inside a
+// ctx-receiving function has the context in scope and is held to the
+// same rule.
+type ctxflow struct{}
+
+func init() { Register(ctxflow{}) }
+
+func (ctxflow) Name() string { return "ctxflow" }
+func (ctxflow) Doc() string {
+	return "function receives a context.Context but passes context.Background()/TODO() onward"
+}
+
+func (ctxflow) Check(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxflowWalk(p, fd.Body, hasCtxParam(p.Info, fd.Type), report)
+		}
+	}
+}
+
+// ctxflowWalk descends a function body. hasCtx is true once any
+// enclosing function (this one or a parent of the closure) received a
+// context; only then are Background/TODO arguments violations.
+func ctxflowWalk(p *Package, body *ast.BlockStmt, hasCtx bool, report func(pos token.Pos, format string, args ...any)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			ctxflowWalk(p, x.Body, hasCtx || hasCtxParam(p.Info, x.Type), report)
+			return false
+		case *ast.CallExpr:
+			if !hasCtx {
+				return true
+			}
+			for _, arg := range x.Args {
+				inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				obj := calleeOf(p.Info, inner)
+				if obj == nil || calleePkg(obj) != "context" {
+					continue
+				}
+				if name := obj.Name(); name == "Background" || name == "TODO" {
+					report(inner.Pos(), "context.%s() passed onward from a function that already receives a ctx; thread the received context instead", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// hasCtxParam reports whether the function type declares a
+// context.Context parameter.
+func hasCtxParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if t := info.TypeOf(field.Type); t != nil && typeIsFrom(t, "context", "Context") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,40 @@
+// Fixture for the ctxflow checker.
+package ctxflowfix
+
+import "context"
+
+func callee(ctx context.Context) error { return ctx.Err() }
+
+func truePositive(ctx context.Context) error {
+	return callee(context.Background()) // want "thread the received context"
+}
+
+func truePositiveTODO(ctx context.Context) error {
+	return callee(context.TODO()) // want "thread the received context"
+}
+
+func truePositiveClosure(ctx context.Context) func() error {
+	return func() error {
+		// The closure sees ctx; detaching inside it is the same bug.
+		return callee(context.Background()) // want "thread the received context"
+	}
+}
+
+func cleanThreaded(ctx context.Context) error {
+	return callee(ctx)
+}
+
+func cleanDerived(ctx context.Context) error {
+	c, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return callee(c)
+}
+
+func cleanNoCtxReceived() error {
+	return callee(context.Background()) // an entry point has nothing to thread
+}
+
+func suppressedDetach(ctx context.Context) error {
+	//hanccr:allow ctxflow fixture detaches deliberately: the write must survive request cancellation
+	return callee(context.Background())
+}

@@ -1,0 +1,15 @@
+// Fixture for the directive pseudo-check: malformed //hanccr:allow
+// comments are findings themselves — a suppression nobody can read
+// must not silently suppress, or silently rot.
+package directivefix
+
+func malformedDirectives() {
+	//hanccr:allow
+	// want-above "needs a check name"
+
+	//hanccr:allow nosuchcheck because reasons
+	// want-above "unknown check"
+
+	//hanccr:allow walltime
+	// want-above "no reason"
+}

@@ -1,0 +1,42 @@
+// Fixture for the discarderr checker: true positives carry // want
+// comments, clean negatives carry nothing, and one site proves the
+// //hanccr:allow escape hatch works.
+package discarderrfix
+
+import (
+	"bytes"
+	"io"
+	"os"
+)
+
+type sink struct{}
+
+func (sink) Write(p []byte) (int, error) { return len(p), nil }
+func (sink) Close() error                { return nil }
+func (sink) Record(v any) error          { return nil }
+
+func truePositives(w sink, f *os.File, r io.Reader) {
+	_ = w.Record(nil)    // want "Record discarded"
+	w.Write([]byte("x")) // want "dropped by a bare call"
+	_, _ = io.Copy(f, r) // want "io.Copy discarded"
+	f.Close()            // want "closes a writable stream"
+}
+
+type reader struct{}
+
+func (reader) Read(p []byte) (int, error) { return 0, nil }
+func (reader) Close() error               { return nil }
+
+func cleanNegatives(r reader, buf *bytes.Buffer, f *os.File, w sink) error {
+	defer f.Close()      // direct defer is idiomatic cleanup
+	r.Close()            // Close on a read-only type has no Write to lose
+	buf.WriteString("x") // in-memory buffer writes cannot fail
+	if err := w.Record(nil); err != nil {
+		return err // handled error: the whole point
+	}
+	return nil
+}
+
+func suppressed(w sink) {
+	_ = w.Record(nil) //hanccr:allow discarderr fixture proves a documented suppression silences the finding
+}

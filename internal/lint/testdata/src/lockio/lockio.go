@@ -1,0 +1,67 @@
+// Fixture for the lockio checker.
+package lockiofix
+
+import (
+	"os"
+	"sync"
+)
+
+type cache struct {
+	mu      sync.Mutex
+	entries map[string]string
+}
+
+func (c *cache) truePositiveDeferred(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	data, err := os.ReadFile(path) // want "os.ReadFile"
+	if err != nil {
+		return err
+	}
+	c.entries[path] = string(data)
+	return nil
+}
+
+func (c *cache) truePositiveExplicit(f *os.File, line []byte) error {
+	c.mu.Lock()
+	_, err := f.Write(line) // want "os.File"
+	c.mu.Unlock()
+	return err
+}
+
+func (c *cache) cleanIOOutside(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.entries[path] = string(data)
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *cache) cleanUnlockedBranch(path string) (string, bool) {
+	c.mu.Lock()
+	v, ok := c.entries[path]
+	c.mu.Unlock()
+	if !ok {
+		data, err := os.ReadFile(path) // after the unlock: fine
+		if err != nil {
+			return "", false
+		}
+		return string(data), true
+	}
+	return v, true
+}
+
+type appendLog struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func (l *appendLog) suppressedByDesign(line []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err := l.f.Write(line) //hanccr:allow lockio fixture: this mutex IS the append serialization point, like the scenario log's
+	return err
+}

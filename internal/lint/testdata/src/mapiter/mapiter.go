@@ -1,0 +1,55 @@
+// Fixture for the mapiter checker (the harness loads it with scope
+// forced on, standing in for the deterministic packages).
+package mapiterfix
+
+import "sort"
+
+func truePositiveFold(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "unordered"
+		total += v
+	}
+	return total
+}
+
+func truePositiveNested(m map[int][]string) []string {
+	var out []string
+	for k, vs := range m { // want "unordered"
+		if k > 0 {
+			out = append(out, vs...)
+		}
+	}
+	return out
+}
+
+func cleanCollectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys { // slice range: ordered
+		if m[k] > 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func cleanSliceRange(s []int) int {
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+func suppressedCommutative(m map[string]float64) int {
+	n := 0
+	//hanccr:allow mapiter fixture counts entries; the count is independent of visit order
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,30 @@
+// Fixture for the walltime checker (scope forced on by the harness,
+// standing in for the planning/estimation core).
+package walltimefix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func truePositives() (time.Time, int) {
+	now := time.Now()  // want "wall clock"
+	n := rand.Intn(10) // want "unseeded"
+	return now, n
+}
+
+func cleanSeeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // constructors are the fix, not the bug
+	return rng.Float64()                  // methods on a seeded source are fine
+}
+
+func cleanInjectedClock(now func() time.Time) time.Time {
+	return now()
+}
+
+func suppressedTimingPanel() time.Duration {
+	start := time.Now() //hanccr:allow walltime fixture measures elapsed wall time on purpose; the duration is an output
+	var d time.Duration
+	d = time.Since(start) //hanccr:allow walltime fixture measures elapsed wall time on purpose; the duration is an output
+	return d
+}

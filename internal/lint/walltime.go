@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// walltime flags wall-clock reads (time.Now/Since/Until) and global
+// math/rand calls inside the planning and estimation core (every
+// internal/ package). Plans must be pure functions of the scenario —
+// that is what makes a cache hit bit-identical to a cold miss — so
+// time is injected through hooks and randomness flows from the
+// scenario seed via rand.New(rand.NewSource(seed)). Seeded *rand.Rand
+// method calls and source constructors are fine; the package-level
+// rand functions draw from the process-global source and are not.
+type walltime struct{}
+
+func init() { Register(walltime{}) }
+
+func (walltime) Name() string { return "walltime" }
+func (walltime) Doc() string {
+	return "wall-clock read or global math/rand in the planning/estimation core"
+}
+
+// walltimeConstructors are the math/rand package functions that build
+// seeded state rather than drawing from the global source.
+var walltimeConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+func walltimeInScope(p *Package) bool {
+	return p.ForceScope || strings.Contains(p.Path+"/", "/internal/")
+}
+
+func (walltime) Check(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	if !walltimeInScope(p) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeOf(p.Info, call)
+			if obj == nil || methodRecv(p.Info, call) != nil {
+				return true // methods (e.g. seeded rng.Float64) are fine
+			}
+			name := obj.Name()
+			switch calleePkg(obj) {
+			case "time":
+				switch name {
+				case "Now", "Since", "Until":
+					report(call.Pos(), "time.%s reads the wall clock in planning core; inject time instead (plans must be pure functions of the scenario)", name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !walltimeConstructors[name] {
+					report(call.Pos(), "global rand.%s is unseeded process state; draw from rand.New(rand.NewSource(seed)) so results replay", name)
+				}
+			}
+			return true
+		})
+	}
+}

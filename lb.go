@@ -282,34 +282,40 @@ type routerHealth struct {
 func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	switch req.URL.Path {
 	case "/healthz":
-		if !routerRequireGet(w, req) {
+		if !r.requireGet(w, req) {
 			return
 		}
-		routerWriteJSON(w, http.StatusOK, routerHealth{Status: "ok", Backends: r.Stats().Backends})
+		r.writeJSON(w, req, http.StatusOK, routerHealth{Status: "ok", Backends: r.Stats().Backends})
 		return
 	case "/v1/lb/stats":
-		if !routerRequireGet(w, req) {
+		if !r.requireGet(w, req) {
 			return
 		}
-		routerWriteJSON(w, http.StatusOK, r.Stats())
+		r.writeJSON(w, req, http.StatusOK, r.Stats())
 		return
 	}
 	r.proxy(w, req)
 }
 
-func routerRequireGet(w http.ResponseWriter, r *http.Request) bool {
-	if r.Method != http.MethodGet {
+func (r *Router) requireGet(w http.ResponseWriter, req *http.Request) bool {
+	if req.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
-		routerWriteJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "use GET"})
+		r.writeJSON(w, req, http.StatusMethodNotAllowed, map[string]string{"error": "use GET"})
 		return false
 	}
 	return true
 }
 
-func routerWriteJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON emits a router-originated JSON response. An encode
+// failure means the client hung up mid-error; nothing can be resent,
+// but the failure is logged — the router's own error responses must
+// never vanish silently (the discarderr invariant).
+func (r *Router) writeJSON(w http.ResponseWriter, req *http.Request, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		r.logf("lb: %s %s: writing %d response: %v", req.Method, req.URL.Path, status, err)
+	}
 }
 
 // proxy routes one request: pick the candidate order (key-affine for
@@ -321,11 +327,11 @@ func routerWriteJSON(w http.ResponseWriter, status int, v any) {
 func (r *Router) proxy(w http.ResponseWriter, req *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(req.Body, maxRequestBody+1))
 	if err != nil {
-		routerWriteJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		r.writeJSON(w, req, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
 	if len(body) > maxRequestBody {
-		routerWriteJSON(w, http.StatusRequestEntityTooLarge, map[string]string{"error": "request body over 16 MiB"})
+		r.writeJSON(w, req, http.StatusRequestEntityTooLarge, map[string]string{"error": "request body over 16 MiB"})
 		return
 	}
 
@@ -358,7 +364,7 @@ func (r *Router) proxy(w http.ResponseWriter, req *http.Request) {
 		b := r.backends[idx]
 		out, err := http.NewRequestWithContext(req.Context(), req.Method, b.url+req.URL.RequestURI(), bytes.NewReader(body))
 		if err != nil {
-			routerWriteJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			r.writeJSON(w, req, http.StatusInternalServerError, map[string]string{"error": err.Error()})
 			return
 		}
 		copyProxyHeaders(out.Header, req.Header)
@@ -384,7 +390,7 @@ func (r *Router) proxy(w http.ResponseWriter, req *http.Request) {
 			b.retried.Add(1)
 			r.cool(b, resp.Header.Get("Retry-After"))
 			r.logf("lb: %s %s: backend %s answered %d, failing over", req.Method, req.URL.Path, b.url, resp.StatusCode)
-			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //hanccr:allow discarderr best-effort bounded drain so the refused connection can be reused for the next failover
 			resp.Body.Close()
 			continue
 		}
@@ -392,7 +398,7 @@ func (r *Router) proxy(w http.ResponseWriter, req *http.Request) {
 		break
 	}
 	if lastResp == nil {
-		routerWriteJSON(w, http.StatusBadGateway, map[string]string{
+		r.writeJSON(w, req, http.StatusBadGateway, map[string]string{
 			"error": fmt.Sprintf("no backend reachable for %s %s (%d tried)", req.Method, req.URL.Path, len(candidates)),
 		})
 		return

@@ -1,0 +1,73 @@
+package hanccr
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// failingResponseWriter accepts headers but fails every body write —
+// the shape of a client that disconnected before the response went
+// out.
+type failingResponseWriter struct {
+	*httptest.ResponseRecorder
+}
+
+func (w failingResponseWriter) Write([]byte) (int, error) {
+	return 0, errors.New("client gone")
+}
+
+// TestDrainGateLogsRefusalWriteFailure pins the discarderr fix in
+// DrainGate.Wrap: a failure writing the 503 refusal body — previously
+// `_ = json.NewEncoder(w).Encode(...)` — reaches the gate's Logf.
+func TestDrainGateLogsRefusalWriteFailure(t *testing.T) {
+	var msgs []string
+	gate := &DrainGate{Logf: func(format string, args ...any) {
+		msgs = append(msgs, fmt.Sprintf(format, args...))
+	}}
+	gate.draining.Store(true)
+	h := gate.Wrap(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		t.Fatal("draining gate let a request through")
+	}))
+	w := failingResponseWriter{httptest.NewRecorder()}
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", w.Code)
+	}
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "client gone") {
+		t.Fatalf("logged %q, want one refusal-write failure", msgs)
+	}
+	// A healthy writer logs nothing.
+	msgs = nil
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if len(msgs) != 0 {
+		t.Fatalf("clean refusal logged %q", msgs)
+	}
+}
+
+// TestRouterWriteJSONLogsEncodeFailure pins the discarderr fix in the
+// router: an error encoding a router-originated response — previously
+// a package function that discarded it — reaches the router's logf
+// with the method and path.
+func TestRouterWriteJSONLogsEncodeFailure(t *testing.T) {
+	var msgs []string
+	r, err := NewRouter([]string{"http://127.0.0.1:1"}, WithRouterLogf(func(format string, args ...any) {
+		msgs = append(msgs, fmt.Sprintf(format, args...))
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/lb/stats", nil)
+	r.writeJSON(failingResponseWriter{httptest.NewRecorder()}, req, http.StatusOK, r.Stats())
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "/v1/lb/stats") || !strings.Contains(msgs[0], "client gone") {
+		t.Fatalf("logged %q, want one write-failure line naming the path", msgs)
+	}
+	msgs = nil
+	r.writeJSON(httptest.NewRecorder(), req, http.StatusOK, r.Stats())
+	if len(msgs) != 0 {
+		t.Fatalf("clean write logged %q", msgs)
+	}
+}

@@ -8,7 +8,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
+	"hash"
 	"math"
 	"os"
 	"path/filepath"
@@ -233,7 +233,7 @@ func (s Scenario) model() string {
 // (only constructible by hand, but a future format must not reopen
 // the hole) is length-prefixed like its neighbors — unambiguous
 // because a prefixed format starts with a digit, never 'j' or 'd'.
-func (s Scenario) writeInjected(h io.Writer) {
+func (s Scenario) writeInjected(h hash.Hash) {
 	fmt.Fprintf(h, "src=%d:%s|", len(s.source), s.source)
 	switch s.format {
 	case "json", "dax":

@@ -1,5 +1,7 @@
 package hanccr
 
+//hanccr:allow-file lockio l.mu is the append serialization point: Record must write whole lines one at a time or concurrent requests would interleave bytes inside a line, and the dirty-flag recovery depends on observing its own write's outcome before the next
+
 import (
 	"bufio"
 	"bytes"

@@ -1,5 +1,7 @@
 package hanccr
 
+//hanccr:allow-file lockio st.mu is the store's single-writer serialization point by design: every segment read/write/rotate must see a consistent index+offset pair, and the Service keeps store calls outside its shard locks
+
 // The persistent plan store: a disk-backed write-through layer under
 // the Service's sharded LRU. Planning is deterministic given the
 // canonical Scenario.Key, so the store archives *outputs* — enough of
@@ -436,7 +438,7 @@ func OpenPlanStore(dir string, opts ...StoreOption) (*PlanStore, error) {
 	}
 	fi, err := f.Stat()
 	if err != nil {
-		f.Close()
+		f.Close() //hanccr:allow discarderr error-path cleanup of a just-opened empty segment; the Stat error is what the caller sees
 		return nil, err
 	}
 	st.active = f
@@ -688,7 +690,7 @@ func (st *PlanStore) compactLocked() error {
 			continue
 		}
 		if _, err := f.Write(line); err != nil {
-			f.Close()
+			f.Close() //hanccr:allow discarderr error-path cleanup; the tmp segment is removed and the Write error surfaces
 			os.Remove(tmp)
 			return err
 		}
@@ -696,7 +698,7 @@ func (st *PlanStore) compactLocked() error {
 		off += int64(len(line))
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		f.Close() //hanccr:allow discarderr error-path cleanup; the tmp segment is removed and the Sync error surfaces
 		os.Remove(tmp)
 		return err
 	}
